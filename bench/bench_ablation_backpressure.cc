@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablation A2 (DESIGN.md §5): the value of enforcing backpressure-free
+ * CPU thresholds during exploration (paper Sec. III). With enforcement
+ * disabled, Algorithm 1 keeps recording hotter LPR levels whose
+ * measured latencies still look fine in isolation; the optimizer then
+ * happily picks them, and in the real topology the hot RPC services
+ * push queueing back into their callers. We explore the social
+ * network both ways and compare the deployed behavior.
+ */
+
+#include "common.h"
+
+#include "core/explorer.h"
+#include "core/manager.h"
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <cstdio>
+
+using namespace ursa;
+using namespace ursa::bench;
+using namespace ursa::sim;
+
+namespace
+{
+
+struct Outcome
+{
+    double violationRate = 0.0;
+    double cpuCores = 0.0;
+    int totalLevels = 0;
+};
+
+Outcome
+runWith(bool enforce)
+{
+    const apps::AppSpec app = makeApp(AppId::Social);
+    auto opts = paperExploration(4242);
+    opts.enforceBpThreshold = enforce;
+    if (!enforce) {
+        // Let only raw SLA violations stop exploration (keep the
+        // queue-stability guard: an unstable level helps nobody).
+        opts.maxUtilization = 0.92;
+    }
+    core::ExplorationController explorer(opts);
+    const core::AppProfile profile = explorer.exploreApp(app);
+
+    Cluster cluster(777);
+    app.instantiate(cluster);
+    Outcome out;
+    for (const auto &svc : profile.services)
+        out.totalLevels += static_cast<int>(svc.levels.size());
+
+    // Apply the plan's replica counts *statically* (no resource
+    // controller), isolating the level choice itself: with hotter
+    // levels there is no online scaling to paper over the tails.
+    core::ModelInput input;
+    input.profile = &profile;
+    for (const auto &cls : app.classes)
+        input.slas.push_back(cls.sla);
+    input.slaVisits = core::computeSlaVisitCounts(app);
+    const auto visits = core::computeVisitCounts(app);
+    double total = 0.0;
+    for (double w : app.exploreMix)
+        total += w;
+    input.loads.assign(app.services.size(),
+                       std::vector<double>(app.classes.size(), 0.0));
+    for (std::size_t s = 0; s < app.services.size(); ++s)
+        for (std::size_t c = 0; c < app.classes.size(); ++c)
+            input.loads[s][c] =
+                app.nominalRps * app.exploreMix[c] / total * visits[s][c];
+    const auto plan = core::UrsaOptimizer().solve(input);
+    if (!plan.feasible) {
+        out.violationRate = 1.0;
+        return out;
+    }
+    for (std::size_t s = 0; s < app.services.size(); ++s)
+        if (plan.replicas[s] > 0)
+            cluster.service(static_cast<ServiceId>(s))
+                .setReplicas(plan.replicas[s]);
+
+    OpenLoopClient client(cluster,
+                          workload::constantRate(1.1 * app.nominalRps),
+                          fixedMix(app.exploreMix), 5);
+    client.start(0);
+    cluster.run(35 * kMin);
+    out.violationRate =
+        cluster.metrics().overallSlaViolationRate(5 * kMin, 35 * kMin);
+    for (ServiceId s = 0; s < cluster.numServices(); ++s)
+        out.cpuCores +=
+            cluster.metrics().meanAllocation(s, 5 * kMin, 35 * kMin);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: backpressure-free threshold enforcement "
+                "during exploration\n(social network, static plan "
+                "allocations, load 10%% above plan).\n\n");
+    const Outcome with = runWith(true);
+    const Outcome without = runWith(false);
+    std::printf("%-28s %12s %10s %8s\n", "exploration policy",
+                "SLA-viol", "CPU cores", "levels");
+    std::printf("%-28s %11.1f%% %10.1f %8d\n",
+                "bp threshold enforced", 100.0 * with.violationRate,
+                with.cpuCores, with.totalLevels);
+    std::printf("%-28s %11.1f%% %10.1f %8d\n",
+                "bp threshold ignored", 100.0 * without.violationRate,
+                without.cpuCores, without.totalLevels);
+    std::printf("\nReading: ignoring the threshold records more "
+                "(hotter) LPR levels, letting the\noptimizer shave "
+                "CPU; the enforced threshold is the safety margin that "
+                "keeps every\nchosen operating point in the "
+                "backpressure-free zone of Sec. III. In thread-\n"
+                "constrained regimes (bench_fig2_backpressure) "
+                "operating past it inflates callers'\nlatencies by an "
+                "order of magnitude.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: SLA violation rates of Ursa, Sinan, Firm,
+ * Auto-a and Auto-b across the four applications (social network,
+ * vanilla social network, media service, video pipeline) under
+ * constant, dynamic (diurnal + burst) and skewed loads.
+ *
+ * The full grid is simulated once and cached under .ursa_cache/, so
+ * bench_fig12_cpu_allocation (the same experiment's resource view)
+ * reuses it. Expected shape (Sec. VII-E): Ursa 0.1-8.5% under
+ * constant/dynamic and 0.5-2% under skewed loads; ML systems 9-52%;
+ * Auto-a worst; Auto-b close to Ursa on SLAs.
+ */
+
+#include "common.h"
+
+#include <cstdio>
+
+using namespace ursa::bench;
+
+int
+main()
+{
+    std::printf("Fig. 11 reproduction: SLA violation rate (%% of "
+                "1-minute windows whose latency at the\nSLA percentile "
+                "exceeds the target), per system / application / "
+                "load.\n\n");
+    PerfHarnessOptions opts;
+    const auto grid = performanceGrid(opts);
+
+    const System systems[] = {System::Ursa, System::Sinan, System::Firm,
+                              System::AutoA, System::AutoB};
+    std::printf("%-15s %-9s", "app", "load");
+    for (System s : systems)
+        std::printf(" %9s", toString(s));
+    std::printf("\n");
+
+    AppId lastApp = AppId::VideoPipeline;
+    bool first = true;
+    for (const GridRow &row : grid) {
+        if (row.system != System::Ursa)
+            continue; // one printed row per (app, load)
+        if (!first && row.app != lastApp)
+            std::printf("\n");
+        first = false;
+        lastApp = row.app;
+        std::printf("%-15s %-9s", toString(row.app), toString(row.load));
+        for (System s : systems) {
+            for (const GridRow &cell : grid) {
+                if (cell.app == row.app && cell.load == row.load &&
+                    cell.system == s) {
+                    std::printf(" %8.1f%%",
+                                100.0 * cell.result.violationRate);
+                }
+            }
+        }
+        std::printf("\n");
+    }
+
+    // Aggregate summary in the paper's terms.
+    auto meanViol = [&](System s, bool skewed) {
+        double sum = 0.0;
+        int n = 0;
+        for (const GridRow &row : grid) {
+            const bool isSkew = row.load == LoadKind::SkewedUp ||
+                                row.load == LoadKind::SkewedDown;
+            if (row.system == s && isSkew == skewed) {
+                sum += row.result.violationRate;
+                ++n;
+            }
+        }
+        return 100.0 * sum / n;
+    };
+    std::printf("\nmean violation rate (constant+dynamic | skewed):\n");
+    for (System s : systems) {
+        std::printf("  %-7s %5.1f%% | %5.1f%%\n", toString(s),
+                    meanViol(s, false), meanViol(s, true));
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2: backpressure propagation in 5-tier chains
+ * connected by nested RPC, event-driven RPC, and message queues. A
+ * closed-loop client drives each chain for 10 minutes; the leaf tier's
+ * CPU is throttled during minutes 3-6. Each cell prints the per-tier
+ * p99 response time (S0 - R0, excluding downstream waits) per minute —
+ * the paper's heat map as numbers.
+ *
+ * Expected shape: nested and event-driven RPC show strong inflation at
+ * tier 4 (the throttled tier's parent) that attenuates up the chain;
+ * the MQ chain shows none above the culprit.
+ */
+
+#include "apps/app.h"
+#include "sim/client.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ursa;
+using namespace ursa::sim;
+
+namespace
+{
+
+void
+runChain(CallKind kind, const char *label)
+{
+    const apps::AppSpec app = apps::makeStudyChain(kind, 5);
+    Cluster cluster(1234);
+    app.instantiate(cluster);
+
+    // Closed loop: bounded in-flight requests let the backlog settle at
+    // the culprit's parent instead of growing without bound.
+    ClosedLoopClient client(cluster, 48, 360 * kMsec, fixedMix({1.0}), 7);
+    client.start(0);
+
+    cluster.run(3 * kMin);
+    cluster.service(4).setCpuFactor(0.12); // throttle tier 5
+    cluster.run(6 * kMin);
+    cluster.service(4).setCpuFactor(1.0);
+    cluster.run(10 * kMin);
+
+    std::printf("\n-- %s --\n", label);
+    std::printf("tier\\min |");
+    for (int m = 0; m < 10; ++m)
+        std::printf(" %7d", m + 1);
+    std::printf("   (p99 tier response time, ms; throttle: min 4-6)\n");
+    for (ServiceId tier = 0; tier < 5; ++tier) {
+        std::printf("  tier %d |", tier + 1);
+        for (int m = 0; m < 10; ++m) {
+            const auto samples = cluster.metrics()
+                                     .tierLatency(tier, 0)
+                                     .collect(m * kMin, (m + 1) * kMin);
+            if (samples.empty())
+                std::printf(" %7s", "-");
+            else
+                std::printf(" %7.1f", samples.percentile(99.0) / 1000.0);
+        }
+        std::printf("\n");
+    }
+
+    // Summary: inflation factor per tier (throttled vs baseline).
+    std::printf("  inflation x baseline:");
+    for (ServiceId tier = 0; tier < 5; ++tier) {
+        const auto base =
+            cluster.metrics().tierLatency(tier, 0).collect(kMin, 3 * kMin);
+        const auto hot = cluster.metrics()
+                             .tierLatency(tier, 0)
+                             .collect(4 * kMin, 6 * kMin);
+        if (base.empty() || hot.empty()) {
+            std::printf("  t%d=-", tier + 1);
+            continue;
+        }
+        std::printf("  t%d=%.1f", tier + 1,
+                    hot.percentile(99.0) / base.percentile(99.0));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig. 2 reproduction: backpressure in 5-tier chains "
+                "(leaf CPU throttled to 12%% during minutes 4-6)\n");
+    runChain(CallKind::NestedRpc, "nested RPC (Fig. 2a)");
+    runChain(CallKind::EventRpc, "event-driven RPC (Fig. 2b)");
+    runChain(CallKind::MqPublish, "message queue (Fig. 2c)");
+    std::printf("\nPaper shape: backpressure significant for both RPC "
+                "kinds, strongest at tier 4,\nattenuating up the chain; "
+                "negligible for the MQ chain.\n");
+    return 0;
+}

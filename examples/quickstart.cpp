@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Quickstart: the complete Ursa pipeline on a minimal two-service
+ * application, end to end —
+ *
+ *   1. describe an application (services, request classes, SLAs);
+ *   2. run offline exploration (backpressure profiling + Algorithm 1);
+ *   3. deploy the Ursa manager and drive load;
+ *   4. read back SLA compliance and CPU usage.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include "apps/app.h"
+#include "core/explorer.h"
+#include "core/manager.h"
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <cstdio>
+
+using namespace ursa;
+using namespace ursa::sim;
+
+namespace
+{
+
+/** A toy application: an RPC frontend calling a CPU-bound backend. */
+apps::AppSpec
+makeDemoApp()
+{
+    apps::AppSpec app;
+    app.name = "demo";
+    app.nominalRps = 120.0;
+
+    RequestClassSpec cls;
+    cls.name = "api-request";
+    cls.rootService = "gateway";
+    cls.sla = {99.0, fromMs(60.0)}; // p99 <= 60 ms end to end
+    app.classes.push_back(cls);
+
+    ServiceConfig gateway;
+    gateway.name = "gateway";
+    gateway.threads = 64;
+    gateway.cpuPerReplica = 2.0;
+    ClassBehavior g;
+    g.computeMeanUs = 800.0;
+    g.computeCv = 0.2;
+    g.calls = {{"backend", CallKind::NestedRpc}};
+    gateway.behaviors[0] = g;
+    app.services.push_back(gateway);
+
+    ServiceConfig backend;
+    backend.name = "backend";
+    backend.threads = 16;
+    backend.cpuPerReplica = 1.0;
+    backend.initialReplicas = 2;
+    ClassBehavior b;
+    b.computeMeanUs = 6000.0;
+    b.computeCv = 0.3;
+    backend.behaviors[0] = b;
+    app.services.push_back(backend);
+
+    app.exploreMix = {1.0};
+    return app;
+}
+
+} // namespace
+
+int
+main()
+{
+    const apps::AppSpec app = makeDemoApp();
+
+    // --- 1. offline exploration ------------------------------------
+    std::printf("== exploration (backpressure profiling + Algorithm 1)\n");
+    core::ExplorationOptions exopts;
+    exopts.window = 15 * kSec; // fast demo windows
+    exopts.windowsPerLevel = 6;
+    exopts.seed = 42;
+    exopts.bpOptions.stepDuration = kMin;
+    exopts.bpOptions.sampleWindow = 10 * kSec;
+    core::ExplorationController explorer(exopts);
+    const core::AppProfile profile = explorer.exploreApp(app);
+
+    for (std::size_t s = 0; s < profile.services.size(); ++s) {
+        const auto &svc = profile.services[s];
+        std::printf("  %-8s: bp-threshold %4.1f%%, %zu LPR levels, "
+                    "%d samples\n",
+                    svc.serviceName.c_str(), 100.0 * svc.bpThreshold,
+                    svc.levels.size(), svc.samples);
+    }
+    std::printf("  total samples: %d, wall-clock explore time: %.1f "
+                "sim-min\n\n",
+                profile.totalSamples(),
+                toSec(profile.wallClockExploreTime()) / 60.0);
+
+    // --- 2. deployment ----------------------------------------------
+    std::printf("== deployment under Poisson load (%.0f rps)\n",
+                app.nominalRps);
+    Cluster cluster(7);
+    app.instantiate(cluster);
+    core::UrsaManager manager(cluster, app, profile);
+    if (!manager.deploy(app.nominalRps, app.exploreMix)) {
+        std::printf("model infeasible — SLAs cannot be met\n");
+        return 1;
+    }
+    for (std::size_t s = 0; s < app.services.size(); ++s) {
+        std::printf("  %-8s: LPR level %d -> %d replicas\n",
+                    app.services[s].name.c_str(), manager.plan().level[s],
+                    manager.plan().replicas[s]);
+    }
+
+    OpenLoopClient client(cluster,
+                          workload::constantRate(app.nominalRps),
+                          fixedMix(app.exploreMix), 9);
+    client.start(0);
+    cluster.run(30 * kMin);
+
+    // --- 3. results ----------------------------------------------------
+    const auto &m = cluster.metrics();
+    const double p99 =
+        m.endToEnd(0).collect(5 * kMin, 30 * kMin).percentile(99.0);
+    std::printf("\n== results (minutes 5-30)\n");
+    std::printf("  measured p99: %.1f ms (SLA %.0f ms)\n", p99 / 1000.0,
+                toMs(app.classes[0].sla.targetUs));
+    std::printf("  SLA violation rate: %.2f%%\n",
+                100.0 * m.overallSlaViolationRate(5 * kMin, 30 * kMin));
+    double cpu = 0.0;
+    for (ServiceId s = 0; s < cluster.numServices(); ++s)
+        cpu += m.meanAllocation(s, 5 * kMin, 30 * kMin);
+    std::printf("  mean CPU allocation: %.1f cores\n", cpu);
+    std::printf("  model upper bound vs estimate: %.1f / %.1f ms\n",
+                manager.plan().upperBoundUs[0] / 1000.0,
+                manager.estimator().estimate(0) / 1000.0);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The social-network benchmark under a diurnal load, managed by Ursa:
+ * explores the full application offline, deploys, then prints a
+ * minute-by-minute timeline of request rate, per-service replica
+ * counts and SLA status — the workload of paper Fig. 13.
+ *
+ * Build & run:  ./build/examples/social_network_diurnal
+ */
+
+#include "apps/app.h"
+#include "core/explorer.h"
+#include "core/manager.h"
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <cstdio>
+
+using namespace ursa;
+using namespace ursa::sim;
+
+int
+main()
+{
+    const apps::AppSpec app = apps::makeSocialNetwork(false);
+
+    std::printf("exploring %s (%zu services, %zu request classes)...\n",
+                app.name.c_str(), app.services.size(),
+                app.classes.size());
+    core::ExplorationOptions exopts;
+    exopts.window = 20 * kSec;
+    exopts.windowsPerLevel = 5;
+    exopts.seed = 11;
+    exopts.bpOptions.stepDuration = kMin;
+    exopts.bpOptions.sampleWindow = 10 * kSec;
+    core::ExplorationController explorer(exopts);
+    const core::AppProfile profile = explorer.exploreApp(app);
+    std::printf("exploration done: %d samples\n\n",
+                profile.totalSamples());
+
+    Cluster cluster(3);
+    app.instantiate(cluster);
+    core::UrsaManager manager(cluster, app, profile);
+    if (!manager.deploy(app.nominalRps, app.exploreMix)) {
+        std::printf("model infeasible\n");
+        return 1;
+    }
+
+    // Diurnal swing: nominal -> 2.2x nominal -> nominal over an hour.
+    const SimTime horizon = 60 * kMin;
+    OpenLoopClient client(
+        cluster,
+        workload::diurnalRate(app.nominalRps, 2.2 * app.nominalRps,
+                              horizon),
+        fixedMix(app.exploreMix), 5);
+    client.start(0);
+
+    std::printf("%-6s %-6s", "min", "rps");
+    for (const auto &name : app.representative)
+        std::printf(" %12s", name.c_str());
+    std::printf(" %10s\n", "viol%");
+
+    const ServiceId frontend = cluster.serviceId("frontend");
+    for (SimTime t = 0; t < horizon; t += 4 * kMin) {
+        cluster.run(t + 4 * kMin);
+        double rps = 0.0;
+        for (int c = 0; c < cluster.numClasses(); ++c)
+            rps += cluster.metrics().arrivalRate(frontend, c, t,
+                                                 t + 4 * kMin);
+        std::printf("%-6lld %-6.0f", (long long)(t / kMin), rps);
+        for (const auto &name : app.representative) {
+            const ServiceId sid = cluster.serviceId(name);
+            std::printf(" %9.0f rep",
+                        cluster.metrics().replicaSeries(sid).last(1.0));
+        }
+        std::printf(" %9.1f%%\n",
+                    100.0 * cluster.metrics().overallSlaViolationRate(
+                                t, t + 4 * kMin));
+    }
+
+    std::printf("\nwhole-run SLA violation rate (after warm-up): %.2f%%\n",
+                100.0 * cluster.metrics().overallSlaViolationRate(
+                            4 * kMin, horizon));
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "apps/app.h"
+
+#include <stdexcept>
+
+namespace ursa::apps
+{
+
+void
+AppSpec::instantiate(sim::Cluster &cluster) const
+{
+    for (const sim::ServiceConfig &svc : services)
+        cluster.addService(svc);
+    for (const sim::RequestClassSpec &cls : classes)
+        cluster.addClass(cls);
+    cluster.finalize();
+}
+
+sim::ClassId
+AppSpec::classIndex(const std::string &className) const
+{
+    for (std::size_t i = 0; i < classes.size(); ++i)
+        if (classes[i].name == className)
+            return static_cast<sim::ClassId>(i);
+    throw std::invalid_argument("unknown class " + className + " in app " +
+                                name);
+}
+
+int
+AppSpec::serviceIndex(const std::string &serviceName) const
+{
+    for (std::size_t i = 0; i < services.size(); ++i)
+        if (services[i].name == serviceName)
+            return static_cast<int>(i);
+    throw std::invalid_argument("unknown service " + serviceName +
+                                " in app " + name);
+}
+
+std::vector<double>
+skewMix(const AppSpec &app, std::vector<double> mix,
+        const std::string &className, double factor)
+{
+    mix.at(static_cast<std::size_t>(app.classIndex(className))) *= factor;
+    return mix;
+}
+
+} // namespace ursa::apps

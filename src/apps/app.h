@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AppSpec — a declarative description of one benchmark application
+ * (services, request classes, SLAs, canonical request mix) that can be
+ * instantiated into a Cluster. The four applications of paper Sec. VI
+ * (social network, vanilla social network, media service, video
+ * processing pipeline) and the Sec.-III study chains are provided.
+ */
+
+#ifndef URSA_APPS_APP_H
+#define URSA_APPS_APP_H
+
+#include "sim/cluster.h"
+#include "sim/types.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa::apps
+{
+
+/** A benchmark application, ready to instantiate into a cluster. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<sim::ServiceConfig> services;
+    std::vector<sim::RequestClassSpec> classes;
+    /**
+     * Canonical request-mix weights (one per class) used during
+     * exploration and the constant/dynamic evaluation loads — the
+     * ratios of paper Sec. VII-C.
+     */
+    std::vector<double> exploreMix;
+    /** Total request rate (rps) of the paper-style constant load. */
+    double nominalRps = 100.0;
+    /** Services highlighted in Fig.-13-style plots. */
+    std::vector<std::string> representative;
+
+    /** Register services and classes into `cluster` and finalize it. */
+    void instantiate(sim::Cluster &cluster) const;
+
+    /** Index of a class by name (throws if absent). */
+    sim::ClassId classIndex(const std::string &className) const;
+
+    /** Index of a service by name (throws if absent). */
+    int serviceIndex(const std::string &serviceName) const;
+};
+
+/**
+ * The re-implemented social network (Sec. VI): posts, comments,
+ * timelines, images, plus MQ-fed sentiment analysis and object
+ * detection with Table-II SLAs. `vanilla` disables the ML services,
+ * reproducing the original DeathStarBench functionality.
+ */
+AppSpec makeSocialNetwork(bool vanilla = false);
+
+/** The media service with Table-III SLAs (video store + MQ transcode /
+ * thumbnail stages). */
+AppSpec makeMediaService();
+
+/**
+ * The three-stage video processing pipeline (metadata -> snapshot ->
+ * face recognition over MQs) with two request priorities and Table-IV
+ * SLAs. `highFrac` sets the high:low ratio of the canonical mix.
+ */
+AppSpec makeVideoPipeline(double highFrac = 0.25);
+
+/**
+ * The Sec.-III case-study chain: `tiers` services connected by `kind`,
+ * worker pools graded by depth (client-facing largest). Class 0 walks
+ * the whole chain.
+ */
+AppSpec makeStudyChain(sim::CallKind kind, int tiers = 5);
+
+/**
+ * Return a copy of `mix` with class `cls`'s weight multiplied by
+ * `factor` (the paper's skewed loads double or halve update classes).
+ */
+std::vector<double> skewMix(const AppSpec &app, std::vector<double> mix,
+                            const std::string &className, double factor);
+
+} // namespace ursa::apps
+
+#endif // URSA_APPS_APP_H

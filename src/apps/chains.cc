@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Sec.-III backpressure case-study chains: `tiers` identical-work
+ * services connected by nested RPC, event-driven RPC, or message
+ * queues. Worker pools are graded by depth — client-facing tiers are
+ * provisioned for whole-request thread occupancy, deep tiers for their
+ * own short work — so the paper's attenuation shape (backpressure
+ * strongest at the culprit's parent) emerges under a closed-loop load.
+ */
+
+#include "apps/app.h"
+
+#include <algorithm>
+
+namespace ursa::apps
+{
+
+AppSpec
+makeStudyChain(sim::CallKind kind, int tiers)
+{
+    AppSpec app;
+    app.name = "study-chain";
+    app.nominalRps = 120.0;
+
+    // Pool grading: 64, 48, 32, 16, 12, ... (floor 8).
+    const int pools[] = {64, 48, 32, 16, 12};
+    for (int t = 0; t < tiers; ++t) {
+        sim::ServiceConfig cfg;
+        cfg.name = "tier" + std::to_string(t + 1);
+        cfg.threads =
+            t < 5 ? pools[t] : std::max(8, pools[4] - 2 * (t - 4));
+        cfg.daemonThreads = cfg.threads;
+        cfg.cpuPerReplica = 2.0;
+        cfg.initialReplicas = 1;
+        cfg.mqConsumer = (kind == sim::CallKind::MqPublish && t > 0);
+        sim::ClassBehavior b;
+        b.computeMeanUs = 5000.0;
+        b.computeCv = 0.15;
+        if (t + 1 < tiers)
+            b.calls.push_back({"tier" + std::to_string(t + 2), kind});
+        cfg.behaviors[0] = b;
+        app.services.push_back(cfg);
+        app.representative.push_back(cfg.name);
+    }
+
+    sim::RequestClassSpec spec;
+    spec.name = "chain-request";
+    spec.rootService = "tier1";
+    spec.sla = {99.0, sim::fromMs(30.0 * tiers)};
+    // Both RPC kinds gate the client response on the full chain;
+    // only the MQ chain completes asynchronously.
+    spec.asyncCompletion = (kind == sim::CallKind::MqPublish);
+    app.classes.push_back(spec);
+    app.exploreMix = {1.0};
+    return app;
+}
+
+} // namespace ursa::apps

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The re-implemented media service of paper Sec. VI: video reviews and
+ * ratings plus actual video upload/download and MQ-fed FFmpeg-style
+ * transcode / thumbnail stages. SLAs follow Table III verbatim.
+ *
+ *   frontend -> video-store                 (upload / download video)
+ *   frontend -> video-info                  (get-info)
+ *   frontend -> rating -> video-info        (rate-video)
+ *   frontend -> video-store ~~MQ~~> transcode    (transcode-video)
+ *   frontend -> video-store ~~MQ~~> thumbnail    (generate-thumbnail)
+ */
+
+#include "apps/app.h"
+
+namespace ursa::apps
+{
+
+namespace
+{
+
+sim::ClassBehavior
+work(double meanUs, double cv = 0.35)
+{
+    sim::ClassBehavior b;
+    b.computeMeanUs = meanUs;
+    b.computeCv = cv;
+    return b;
+}
+
+} // namespace
+
+AppSpec
+makeMediaService()
+{
+    using sim::CallKind;
+    AppSpec app;
+    app.name = "media-service";
+    app.nominalRps = 150.0;
+    app.representative = {"video-store", "video-info", "transcode",
+                          "rating"};
+
+    enum ClassIds
+    {
+        kUploadVideo = 0,
+        kDownloadVideo,
+        kGetInfo,
+        kRateVideo,
+        kTranscode,
+        kThumbnail,
+    };
+    auto addClass = [&](const std::string &name, double targetMs,
+                        bool async) {
+        sim::RequestClassSpec spec;
+        spec.name = name;
+        spec.rootService = "frontend";
+        spec.sla = {99.0, sim::fromMs(targetMs)};
+        spec.asyncCompletion = async;
+        app.classes.push_back(spec);
+    };
+    addClass("upload-video", 2000.0, false);
+    addClass("download-video", 1500.0, false);
+    addClass("get-info", 250.0, false);
+    addClass("rate-video", 400.0, false);
+    addClass("transcode-video", 40000.0, true);
+    addClass("generate-thumbnail", 2000.0, true);
+
+    sim::ServiceConfig frontend;
+    frontend.name = "frontend";
+    frontend.threads = 256;
+    frontend.daemonThreads = 64;
+    frontend.cpuPerReplica = 2.0;
+    frontend.initialReplicas = 2;
+    {
+        auto fe = [&](std::vector<sim::CallSpec> calls) {
+            sim::ClassBehavior b = work(1000.0, 0.3);
+            b.calls = std::move(calls);
+            return b;
+        };
+        frontend.behaviors[kUploadVideo] =
+            fe({{"video-store", CallKind::NestedRpc}});
+        frontend.behaviors[kDownloadVideo] =
+            fe({{"video-store", CallKind::NestedRpc}});
+        frontend.behaviors[kGetInfo] =
+            fe({{"video-info", CallKind::NestedRpc}});
+        frontend.behaviors[kRateVideo] =
+            fe({{"rating", CallKind::NestedRpc}});
+        frontend.behaviors[kTranscode] =
+            fe({{"video-store", CallKind::NestedRpc},
+                {"transcode", CallKind::MqPublish}});
+        frontend.behaviors[kThumbnail] =
+            fe({{"video-store", CallKind::NestedRpc},
+                {"thumbnail", CallKind::MqPublish}});
+    }
+    app.services.push_back(frontend);
+
+    sim::ServiceConfig videoStore;
+    videoStore.name = "video-store";
+    videoStore.threads = 48;
+    videoStore.cpuPerReplica = 2.0;
+    videoStore.initialReplicas = 2;
+    videoStore.behaviors[kUploadVideo] = work(400000.0, 0.5);
+    videoStore.behaviors[kDownloadVideo] = work(300000.0, 0.5);
+    videoStore.behaviors[kTranscode] = work(80000.0, 0.4);
+    videoStore.behaviors[kThumbnail] = work(60000.0, 0.4);
+    app.services.push_back(videoStore);
+
+    sim::ServiceConfig videoInfo;
+    videoInfo.name = "video-info";
+    videoInfo.threads = 64;
+    videoInfo.cpuPerReplica = 1.0;
+    videoInfo.initialReplicas = 2;
+    videoInfo.behaviors[kGetInfo] = work(50000.0, 0.5);
+    videoInfo.behaviors[kRateVideo] = work(35000.0, 0.5);
+    app.services.push_back(videoInfo);
+
+    sim::ServiceConfig rating;
+    rating.name = "rating";
+    rating.threads = 64;
+    rating.cpuPerReplica = 1.0;
+    rating.initialReplicas = 1;
+    {
+        sim::ClassBehavior b = work(50000.0, 0.5);
+        b.calls = {{"video-info", CallKind::NestedRpc}};
+        rating.behaviors[kRateVideo] = b;
+    }
+    app.services.push_back(rating);
+
+    sim::ServiceConfig transcode;
+    transcode.name = "transcode";
+    transcode.threads = 4;
+    transcode.cpuPerReplica = 4.0;
+    transcode.initialReplicas = 2;
+    transcode.mqConsumer = true;
+    transcode.behaviors[kTranscode] = work(8000000.0, 0.3);
+    app.services.push_back(transcode);
+
+    sim::ServiceConfig thumbnail;
+    thumbnail.name = "thumbnail";
+    thumbnail.threads = 2; // workers match cores
+    thumbnail.cpuPerReplica = 2.0;
+    thumbnail.initialReplicas = 1;
+    thumbnail.mqConsumer = true;
+    thumbnail.behaviors[kThumbnail] = work(400000.0, 0.4);
+    app.services.push_back(thumbnail);
+
+    // upload : get-info : download : rate = 1 : 100 : 25 : 25
+    // (Sec. VII-C), plus the MQ-backed classes at low rates.
+    app.exploreMix = {1.0, 25.0, 100.0, 25.0, 0.5, 2.0};
+    return app;
+}
+
+} // namespace ursa::apps

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The re-implemented social network of paper Sec. VI.
+ *
+ * Topology (RPC unless noted):
+ *
+ *   frontend -> post-storage            (post / comment writes+reads)
+ *   frontend -> timeline-read -> social-graph, post-storage x2
+ *   frontend -> timeline-update -> social-graph, post-storage
+ *   frontend -> image-store             (image upload / download)
+ *   frontend ~~MQ~~> sentiment          (text ML, 60 ms class)
+ *   frontend ~~MQ~~> object-detect      (DETR-scale ML, 800 ms class)
+ *
+ * Compute means are the Hugging-Face / text-op stand-ins: light text
+ * processing is ~ms, sentiment ~60 ms, object detection ~800 ms.
+ * SLAs follow Table II verbatim.
+ */
+
+#include "apps/app.h"
+
+namespace ursa::apps
+{
+
+namespace
+{
+
+sim::ClassBehavior
+leafCompute(double meanUs, double cv = 0.35)
+{
+    sim::ClassBehavior b;
+    b.computeMeanUs = meanUs;
+    b.computeCv = cv;
+    return b;
+}
+
+} // namespace
+
+AppSpec
+makeSocialNetwork(bool vanilla)
+{
+    using sim::CallKind;
+    AppSpec app;
+    app.name = vanilla ? "social-network-vanilla" : "social-network";
+    app.nominalRps = 300.0;
+    app.representative = {"post-storage", "timeline-read", "sentiment",
+                          "image-store"};
+    if (vanilla)
+        app.representative = {"post-storage", "timeline-read",
+                              "timeline-update", "image-store"};
+
+    // --- classes (ids fixed by push order) ---------------------------
+    enum ClassIds
+    {
+        kPost = 0,
+        kComment,
+        kReadTimeline,
+        kUpdateTimeline,
+        kUploadImage,
+        kDownloadImage,
+        kSentiment,
+        kObjectDetect,
+    };
+    auto addClass = [&](const std::string &name, double pct,
+                        double targetMs, bool async) {
+        sim::RequestClassSpec spec;
+        spec.name = name;
+        spec.rootService = "frontend";
+        spec.sla = {pct, sim::fromMs(targetMs)};
+        spec.asyncCompletion = async;
+        app.classes.push_back(spec);
+    };
+    addClass("post", 99.0, 75.0, false);
+    addClass("comment", 99.0, 75.0, false);
+    addClass("read-timeline", 99.0, 250.0, false);
+    addClass("update-timeline", 99.0, 500.0, false);
+    addClass("upload-image", 99.0, 200.0, false);
+    addClass("download-image", 99.0, 75.0, false);
+    if (!vanilla) {
+        addClass("sentiment-analysis", 99.0, 500.0, true);
+        addClass("object-detect", 99.0, 10000.0, true);
+    }
+
+    // --- frontend -----------------------------------------------------
+    sim::ServiceConfig frontend;
+    frontend.name = "frontend";
+    frontend.threads = 256;
+    frontend.daemonThreads = 64;
+    frontend.cpuPerReplica = 2.0;
+    frontend.initialReplicas = 2;
+    {
+        auto fe = [&](std::vector<sim::CallSpec> calls) {
+            sim::ClassBehavior b = leafCompute(1000.0, 0.3);
+            b.calls = std::move(calls);
+            return b;
+        };
+        frontend.behaviors[kPost] =
+            fe({{"post-storage", CallKind::NestedRpc}});
+        frontend.behaviors[kComment] =
+            fe({{"post-storage", CallKind::NestedRpc}});
+        frontend.behaviors[kReadTimeline] =
+            fe({{"timeline-read", CallKind::NestedRpc}});
+        frontend.behaviors[kUpdateTimeline] =
+            fe({{"timeline-update", CallKind::NestedRpc}});
+        frontend.behaviors[kUploadImage] =
+            fe({{"image-store", CallKind::NestedRpc}});
+        frontend.behaviors[kDownloadImage] =
+            fe({{"image-store", CallKind::NestedRpc}});
+        if (!vanilla) {
+            frontend.behaviors[kPost].calls.push_back(
+                {"sentiment", CallKind::MqPublish});
+            frontend.behaviors[kComment].calls.push_back(
+                {"sentiment", CallKind::MqPublish});
+            frontend.behaviors[kSentiment] =
+                fe({{"post-storage", CallKind::NestedRpc},
+                    {"sentiment", CallKind::MqPublish}});
+            frontend.behaviors[kObjectDetect] =
+                fe({{"image-store", CallKind::NestedRpc},
+                    {"object-detect", CallKind::MqPublish}});
+        }
+    }
+    app.services.push_back(frontend);
+
+    // --- post-storage ---------------------------------------------------
+    sim::ServiceConfig postStorage;
+    postStorage.name = "post-storage";
+    postStorage.threads = 64;
+    postStorage.cpuPerReplica = 1.0;
+    postStorage.initialReplicas = 2;
+    postStorage.behaviors[kPost] = leafCompute(12000.0, 0.5);
+    postStorage.behaviors[kComment] = leafCompute(11000.0, 0.5);
+    postStorage.behaviors[kReadTimeline] = leafCompute(8000.0, 0.5);
+    postStorage.behaviors[kUpdateTimeline] = leafCompute(12000.0, 0.5);
+    if (!vanilla)
+        postStorage.behaviors[kSentiment] = leafCompute(3000.0, 0.5);
+    app.services.push_back(postStorage);
+
+    // --- social-graph ----------------------------------------------------
+    sim::ServiceConfig socialGraph;
+    socialGraph.name = "social-graph";
+    socialGraph.threads = 64;
+    socialGraph.cpuPerReplica = 1.0;
+    socialGraph.initialReplicas = 1;
+    socialGraph.behaviors[kReadTimeline] = leafCompute(8000.0, 0.5);
+    socialGraph.behaviors[kUpdateTimeline] = leafCompute(9000.0, 0.5);
+    app.services.push_back(socialGraph);
+
+    // --- timeline-read -----------------------------------------------------
+    sim::ServiceConfig timelineRead;
+    timelineRead.name = "timeline-read";
+    timelineRead.threads = 64;
+    timelineRead.cpuPerReplica = 1.0;
+    timelineRead.initialReplicas = 2;
+    {
+        sim::ClassBehavior b = leafCompute(25000.0, 0.5);
+        b.calls = {{"social-graph", CallKind::NestedRpc},
+                   {"post-storage", CallKind::NestedRpc},
+                   {"post-storage", CallKind::NestedRpc}};
+        timelineRead.behaviors[kReadTimeline] = b;
+    }
+    app.services.push_back(timelineRead);
+
+    // --- timeline-update -----------------------------------------------------
+    sim::ServiceConfig timelineUpdate;
+    timelineUpdate.name = "timeline-update";
+    timelineUpdate.threads = 64;
+    timelineUpdate.cpuPerReplica = 1.0;
+    timelineUpdate.initialReplicas = 1;
+    {
+        sim::ClassBehavior b = leafCompute(60000.0, 0.5);
+        b.calls = {{"social-graph", CallKind::NestedRpc},
+                   {"post-storage", CallKind::NestedRpc}};
+        timelineUpdate.behaviors[kUpdateTimeline] = b;
+    }
+    app.services.push_back(timelineUpdate);
+
+    // --- image-store -----------------------------------------------------
+    sim::ServiceConfig imageStore;
+    imageStore.name = "image-store";
+    imageStore.threads = 64;
+    imageStore.cpuPerReplica = 1.0;
+    imageStore.initialReplicas = 2;
+    imageStore.behaviors[kUploadImage] = leafCompute(40000.0, 0.5);
+    imageStore.behaviors[kDownloadImage] = leafCompute(13000.0, 0.5);
+    if (!vanilla)
+        imageStore.behaviors[kObjectDetect] = leafCompute(12000.0, 0.5);
+    app.services.push_back(imageStore);
+
+    if (!vanilla) {
+        // --- sentiment (MQ consumer, Hugging-Face text model) ---------
+        sim::ServiceConfig sentiment;
+        sentiment.name = "sentiment";
+        sentiment.threads = 2; // workers match cores
+        sentiment.cpuPerReplica = 2.0;
+        sentiment.initialReplicas = 4;
+        sentiment.mqConsumer = true;
+        sentiment.behaviors[kPost] = leafCompute(60000.0, 0.4);
+        sentiment.behaviors[kComment] = leafCompute(55000.0, 0.4);
+        sentiment.behaviors[kSentiment] = leafCompute(60000.0, 0.4);
+        app.services.push_back(sentiment);
+
+        // --- object-detect (MQ consumer, DETR-scale model) ------------
+        sim::ServiceConfig detect;
+        detect.name = "object-detect";
+        detect.threads = 4;
+        detect.cpuPerReplica = 4.0;
+        detect.initialReplicas = 2;
+        detect.mqConsumer = true;
+        detect.behaviors[kObjectDetect] = leafCompute(1800000.0, 0.4);
+        app.services.push_back(detect);
+    }
+
+    // Canonical mix: post : comment : download-image : read-timeline =
+    // 1 : 75 : 15 : 25 (Sec. VII-C), with modest rates for the
+    // remaining classes.
+    if (vanilla) {
+        app.exploreMix = {1.0, 75.0, 25.0, 8.0, 5.0, 15.0};
+    } else {
+        app.exploreMix = {1.0, 75.0, 25.0, 8.0, 5.0, 15.0, 4.0, 1.0};
+    }
+    return app;
+}
+
+} // namespace ursa::apps

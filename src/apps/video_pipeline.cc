@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The video processing pipeline of paper Sec. VI: three MQ-connected
+ * stages (FFmpeg metadata extraction, FFmpeg snapshots, OpenCV face
+ * recognition) and two request priorities. High-priority requests are
+ * dequeued strictly first; low-priority requests run only when no
+ * high-priority work waits. SLAs follow Table IV: p99 <= 20 s (high),
+ * p50 <= 4 s (low).
+ */
+
+#include "apps/app.h"
+
+namespace ursa::apps
+{
+
+AppSpec
+makeVideoPipeline(double highFrac)
+{
+    using sim::CallKind;
+    AppSpec app;
+    app.name = "video-pipeline";
+    app.nominalRps = 6.0;
+    app.representative = {"vp-metadata", "vp-snapshot", "vp-facerec"};
+
+    enum ClassIds
+    {
+        kHigh = 0,
+        kLow,
+    };
+    {
+        sim::RequestClassSpec high;
+        high.name = "high-priority";
+        high.rootService = "vp-frontend";
+        high.priority = 0;
+        high.sla = {99.0, sim::fromMs(20000.0)};
+        high.asyncCompletion = true;
+        app.classes.push_back(high);
+
+        sim::RequestClassSpec low;
+        low.name = "low-priority";
+        low.rootService = "vp-frontend";
+        low.priority = 1;
+        low.sla = {50.0, sim::fromMs(4000.0)};
+        low.asyncCompletion = true;
+        app.classes.push_back(low);
+    }
+
+    auto stageBehavior = [](double meanUs, double cv,
+                            std::vector<sim::CallSpec> calls) {
+        sim::ClassBehavior b;
+        b.computeMeanUs = meanUs;
+        b.computeCv = cv;
+        b.calls = std::move(calls);
+        return b;
+    };
+
+    sim::ServiceConfig frontend;
+    frontend.name = "vp-frontend";
+    frontend.threads = 64;
+    frontend.daemonThreads = 16;
+    frontend.cpuPerReplica = 1.0;
+    frontend.initialReplicas = 1;
+    for (int c : {kHigh, kLow}) {
+        frontend.behaviors[c] = stageBehavior(
+            5000.0, 0.3, {{"vp-metadata", CallKind::MqPublish}});
+    }
+    app.services.push_back(frontend);
+
+    sim::ServiceConfig metadata;
+    metadata.name = "vp-metadata";
+    metadata.threads = 1; // workers match cores: no PS slowdown
+    metadata.cpuPerReplica = 1.0;
+    metadata.initialReplicas = 2;
+    metadata.mqConsumer = true;
+    for (int c : {kHigh, kLow}) {
+        metadata.behaviors[c] = stageBehavior(
+            200000.0, 0.3, {{"vp-snapshot", CallKind::MqPublish}});
+    }
+    app.services.push_back(metadata);
+
+    sim::ServiceConfig snapshot;
+    snapshot.name = "vp-snapshot";
+    snapshot.threads = 2;
+    snapshot.cpuPerReplica = 2.0;
+    snapshot.initialReplicas = 3;
+    snapshot.mqConsumer = true;
+    for (int c : {kHigh, kLow}) {
+        snapshot.behaviors[c] = stageBehavior(
+            800000.0, 0.3, {{"vp-facerec", CallKind::MqPublish}});
+    }
+    app.services.push_back(snapshot);
+
+    sim::ServiceConfig facerec;
+    facerec.name = "vp-facerec";
+    facerec.threads = 4;
+    facerec.cpuPerReplica = 4.0;
+    facerec.initialReplicas = 4;
+    facerec.mqConsumer = true;
+    for (int c : {kHigh, kLow})
+        facerec.behaviors[c] = stageBehavior(2000000.0, 0.3, {});
+    app.services.push_back(facerec);
+
+    app.exploreMix = {highFrac, 1.0 - highFrac};
+    return app;
+}
+
+} // namespace ursa::apps

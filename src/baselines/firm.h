@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The Firm baseline (paper Sec. VII-B): a model-free, ML-driven
+ * resource manager assigning one reinforcement-learning agent to each
+ * microservice. Each agent observes its service's local state (CPU
+ * utilization, latency-vs-SLA pressure, load, current replicas) and
+ * picks a replica delta; the reward is a weighted sum of resource
+ * savings and SLA status, which is why Firm sometimes trades SLA
+ * violations for savings (Sec. VII-E). Agents are trained online under
+ * injected performance anomalies (CPU throttling), as in the original
+ * system; our agents are compact DQNs over discretized deltas standing
+ * in for Firm's DDPG (see ml/rl.h).
+ */
+
+#ifndef URSA_BASELINES_FIRM_H
+#define URSA_BASELINES_FIRM_H
+
+#include "apps/app.h"
+#include "ml/rl.h"
+#include "sim/cluster.h"
+#include "stats/online.h"
+#include "stats/rng.h"
+
+#include <memory>
+#include <vector>
+
+namespace ursa::baselines
+{
+
+/** Firm configuration. */
+struct FirmConfig
+{
+    sim::SimTime interval = 15 * sim::kSec; ///< decision interval
+    /** Replica deltas the agents choose among. */
+    std::vector<int> actions = {-2, -1, 0, 1, 2};
+    double resourceWeight = 0.6; ///< reward weight of CPU savings
+    double slaWeight = 1.0;      ///< reward weight of SLA status
+    int maxReplicas = 32;
+    ml::QAgentConfig agent = [] {
+        ml::QAgentConfig a;
+        a.stateDim = 4;
+        a.numActions = 5;
+        a.hidden = {32, 32};
+        a.gamma = 0.8;
+        a.epsilonDecaySteps = 2500;
+        return a;
+    }();
+    /** Probability an anomaly (CPU throttle) is injected per training
+     * step, and its strength. */
+    double anomalyProbability = 0.15;
+    double anomalyFactor = 0.35;
+    std::uint64_t seed = 1;
+};
+
+/** One RL agent per service, trained and deployed on a cluster. */
+class FirmController
+{
+  public:
+    FirmController(sim::Cluster &cluster, const apps::AppSpec &app,
+                   FirmConfig cfg);
+
+    /**
+     * Online training: `steps` decision intervals with epsilon-greedy
+     * exploration, random anomaly injection, and a training update per
+     * step. Advances simulation time (the cluster must be under load).
+     */
+    void trainOnline(int steps);
+
+    /**
+     * Rebind the controller (and its trained agents) to another
+     * cluster running the same application — e.g. train on a staging
+     * cluster, deploy on production.
+     */
+    void attach(sim::Cluster &cluster);
+
+    /** Begin greedy (deployed) decisions at absolute time `at`. */
+    void start(sim::SimTime at);
+
+    /** Stop deciding. */
+    void stop() { running_ = false; }
+
+    /** Wall-clock decision latency across agents (Table VI). */
+    const stats::OnlineStats &decisionLatencyUs() const
+    {
+        return decisionLatency_;
+    }
+
+    /** Wall-clock latency of one training update (Table VI update). */
+    const stats::OnlineStats &trainStepLatencyUs() const
+    {
+        return trainLatency_;
+    }
+
+    /** Training steps performed so far. */
+    int trainingSteps() const { return trainingSteps_; }
+
+  private:
+    std::vector<double> serviceState(sim::ServiceId s) const;
+    double reward() const;
+    int applyAction(sim::ServiceId s, int actionIdx);
+    void deployTick();
+
+    sim::Cluster *cluster_;
+    const apps::AppSpec &app_;
+    FirmConfig cfg_;
+    std::vector<std::unique_ptr<ml::QAgent>> agents_;
+    stats::Rng rng_;
+    bool running_ = false;
+    int trainingSteps_ = 0;
+    stats::OnlineStats decisionLatency_;
+    stats::OnlineStats trainLatency_;
+};
+
+} // namespace ursa::baselines
+
+#endif // URSA_BASELINES_FIRM_H

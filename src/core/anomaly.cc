@@ -1,0 +1,70 @@
+#include "core/anomaly.h"
+
+#include <algorithm>
+
+namespace ursa::core
+{
+
+double
+AnomalyDetector::requestRatioDeviation(const sim::Cluster &cluster,
+                                       sim::ServiceId service,
+                                       const std::vector<double> &lpr,
+                                       sim::SimTime from, sim::SimTime to)
+{
+    const auto &metrics = cluster.metrics();
+    double maxDemand = 0.0;
+    double sumLoad = 0.0, sumThreshold = 0.0;
+    for (std::size_t c = 0; c < lpr.size(); ++c) {
+        if (lpr[c] <= 0.0)
+            continue;
+        const double load =
+            metrics.arrivalRate(service, static_cast<int>(c), from, to);
+        maxDemand = std::max(maxDemand, load / lpr[c]);
+        sumLoad += load;
+        sumThreshold += lpr[c];
+    }
+    if (maxDemand <= 0.0 || sumThreshold <= 0.0 || sumLoad <= 0.0)
+        return 1.0;
+    const double aggregateDemand = sumLoad / sumThreshold;
+    return maxDemand / aggregateDemand;
+}
+
+AnomalyReport
+AnomalyDetector::check(const sim::Cluster &cluster,
+                       const std::vector<std::vector<double>> &thresholds,
+                       sim::SimTime now, bool deviationPersists) const
+{
+    AnomalyReport report;
+    const sim::SimTime window = cluster.metrics().window();
+    const sim::SimTime from =
+        std::max<sim::SimTime>(0, now - opts_.lookbackWindows * window);
+
+    // Latency anomaly first: SLA violations mean stale distributions
+    // and dominate any mix-skew concern.
+    report.slaViolationRate =
+        cluster.metrics().overallSlaViolationRate(from, now);
+    if (report.slaViolationRate > opts_.slaViolationThreshold) {
+        report.action = AnomalyAction::Reexplore;
+        for (sim::ServiceId s = 0;
+             s < static_cast<sim::ServiceId>(thresholds.size()); ++s)
+            report.services.push_back(s);
+        return report;
+    }
+
+    // Load anomaly: request-ratio deviation per service.
+    for (sim::ServiceId s = 0;
+         s < static_cast<sim::ServiceId>(thresholds.size()); ++s) {
+        const double dev = requestRatioDeviation(cluster, s,
+                                                 thresholds[s], from, now);
+        if (dev > opts_.ratioDeviationThreshold)
+            report.services.push_back(s);
+        report.maxDeviation = std::max(report.maxDeviation, dev);
+    }
+    if (!report.services.empty()) {
+        report.action = deviationPersists ? AnomalyAction::Reexplore
+                                          : AnomalyAction::Recalculate;
+    }
+    return report;
+}
+
+} // namespace ursa::core

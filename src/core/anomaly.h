@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The anomaly detector (paper Sec. V, component 5). Two anomaly kinds:
+ *
+ *  - Load anomalies: the request mix drifts from the mix the LPR
+ *    thresholds were computed for, detected through the request-ratio
+ *    deviation metric max_j(L_j/t_j) / (sum_j L_j / sum_j t_j) — 1 when
+ *    the binding class matches the aggregate, growing as the mix skews.
+ *    Remedy: recalculate thresholds (re-run the optimization engine);
+ *    if deviation persists, re-explore the affected service.
+ *
+ *  - Latency anomalies: the end-to-end SLA violation rate over recent
+ *    windows exceeds a user threshold, meaning the exploration-time
+ *    latency distributions are stale. Remedy: re-exploration.
+ */
+
+#ifndef URSA_CORE_ANOMALY_H
+#define URSA_CORE_ANOMALY_H
+
+#include "sim/cluster.h"
+
+#include <vector>
+
+namespace ursa::core
+{
+
+/** What the detector asks the manager to do. */
+enum class AnomalyAction
+{
+    None,
+    Recalculate, ///< re-run the optimization engine on current loads
+    Reexplore,   ///< partial re-exploration of the listed services
+};
+
+/** Detector output. */
+struct AnomalyReport
+{
+    AnomalyAction action = AnomalyAction::None;
+    /** Services whose mix deviates (for Recalculate/Reexplore). */
+    std::vector<sim::ServiceId> services;
+    double maxDeviation = 1.0;
+    double slaViolationRate = 0.0;
+};
+
+/** Detector tuning. */
+struct AnomalyOptions
+{
+    /** Request-ratio deviation that triggers recalculation. */
+    double ratioDeviationThreshold = 1.5;
+    /** Window-violation rate that triggers re-exploration. */
+    double slaViolationThreshold = 0.15;
+    /** Look-back horizon in metric windows. */
+    int lookbackWindows = 5;
+};
+
+/** Stateless checks over the tracing data. */
+class AnomalyDetector
+{
+  public:
+    explicit AnomalyDetector(AnomalyOptions opts = {}) : opts_(opts) {}
+
+    /**
+     * Inspect the recent history ending at `now`.
+     *
+     * @param thresholds Current LPR thresholds,
+     *        thresholds[service][class] (<= 0 where not applicable).
+     * @param deviationPersists True when a previous Recalculate did
+     *        not cure the deviation — escalates to Reexplore.
+     */
+    AnomalyReport check(
+        const sim::Cluster &cluster,
+        const std::vector<std::vector<double>> &thresholds,
+        sim::SimTime now, bool deviationPersists = false) const;
+
+    /** The request-ratio deviation of one service (1 = no skew). */
+    static double requestRatioDeviation(
+        const sim::Cluster &cluster, sim::ServiceId service,
+        const std::vector<double> &lpr, sim::SimTime from, sim::SimTime to);
+
+    const AnomalyOptions &options() const { return opts_; }
+
+  private:
+    AnomalyOptions opts_;
+};
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_ANOMALY_H

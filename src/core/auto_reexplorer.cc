@@ -1,0 +1,33 @@
+#include "core/auto_reexplorer.h"
+
+namespace ursa::core
+{
+
+AutoReexplorer::AutoReexplorer(UrsaManager &manager,
+                               const apps::AppSpec &app,
+                               ExplorationOptions opts)
+    : manager_(manager), app_(app), explorer_(opts)
+{
+    manager_.onReexplore =
+        [this](const std::vector<sim::ServiceId> &services) {
+            handle(services);
+        };
+}
+
+void
+AutoReexplorer::handle(const std::vector<sim::ServiceId> &services)
+{
+    working_ = manager_.profile();
+    for (sim::ServiceId s : services) {
+        if (s < 0 ||
+            static_cast<std::size_t>(s) >= working_.services.size())
+            continue;
+        explorer_.reexploreService(app_, s, working_);
+        reexplored_.push_back(s);
+        samplesSpent_ += working_.services[s].samples;
+        timeSpent_ += working_.services[s].exploreTime;
+    }
+    manager_.updateProfile(working_);
+}
+
+} // namespace ursa::core

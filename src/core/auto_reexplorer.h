@@ -1,0 +1,65 @@
+/**
+ * @file
+ * AutoReexplorer — closes the paper's anomaly loop (Sec. V, component
+ * 5): when the UrsaManager's anomaly detector escalates to
+ * re-exploration, this binding runs the exploration controller on the
+ * affected services (partial exploration, Sec. VII-G) and installs the
+ * refreshed profile back into the manager.
+ *
+ * Note on time: exploration here is performed against isolated harness
+ * clusters (as the real system profiles a staging copy), so the live
+ * cluster's simulated clock does not advance during re-exploration;
+ * the cost is reported through samplesSpent()/timeSpent() exactly as
+ * Table V accounts it.
+ */
+
+#ifndef URSA_CORE_AUTO_REEXPLORER_H
+#define URSA_CORE_AUTO_REEXPLORER_H
+
+#include "apps/app.h"
+#include "core/explorer.h"
+#include "core/manager.h"
+
+#include <vector>
+
+namespace ursa::core
+{
+
+/** Binds a manager's re-exploration hook to an explorer. */
+class AutoReexplorer
+{
+  public:
+    /**
+     * Wire `manager.onReexplore`. The app reference must outlive this
+     * object (as it must outlive the manager anyway).
+     */
+    AutoReexplorer(UrsaManager &manager, const apps::AppSpec &app,
+                   ExplorationOptions opts);
+
+    /** Services re-explored so far (may repeat). */
+    const std::vector<sim::ServiceId> &reexplored() const
+    {
+        return reexplored_;
+    }
+
+    /** Exploration samples consumed by re-explorations. */
+    int samplesSpent() const { return samplesSpent_; }
+
+    /** Simulated profiling time consumed by re-explorations. */
+    sim::SimTime timeSpent() const { return timeSpent_; }
+
+  private:
+    void handle(const std::vector<sim::ServiceId> &services);
+
+    UrsaManager &manager_;
+    const apps::AppSpec &app_;
+    ExplorationController explorer_;
+    AppProfile working_;
+    std::vector<sim::ServiceId> reexplored_;
+    int samplesSpent_ = 0;
+    sim::SimTime timeSpent_ = 0;
+};
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_AUTO_REEXPLORER_H

@@ -1,0 +1,127 @@
+#include "core/bp_profiler.h"
+
+#include "core/harness.h"
+#include "stats/welch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ursa::core
+{
+
+namespace
+{
+
+/** Measured statistics of one CPU-limit step. */
+struct StepMeasurement
+{
+    std::vector<double> proxyP99Samples; ///< per sub-window
+    double proxyP99 = 0.0;
+    double testedP99 = 0.0;
+    double utilization = 0.0;
+};
+
+StepMeasurement
+measureStep(const apps::AppSpec &app, int serviceIdx,
+            const std::vector<double> &rates, double cpuLimit,
+            double demandCores, std::uint64_t seed,
+            const BpProfilerOptions &opts)
+{
+    const int proxyThreads = std::max(
+        4, static_cast<int>(std::ceil(demandCores * opts.proxyHeadroom)));
+    IsolatedHarness h = makeIsolatedHarness(app, serviceIdx, rates,
+                                            /*testedReplicas=*/1, seed,
+                                            proxyThreads,
+                                            opts.sampleWindow);
+    h.cluster->service(h.testedId).setCpuLimitPerReplica(cpuLimit);
+    h.client->start(0);
+
+    const sim::SimTime warmup = opts.stepDuration / 4;
+    const sim::SimTime end = warmup + opts.stepDuration;
+    h.cluster->run(end);
+
+    StepMeasurement m;
+    const auto &metrics = h.cluster->metrics();
+    stats::SampleSet proxyAll(0, 3), testedAll(0, 5);
+    for (int c = 0; c < h.cluster->numClasses(); ++c) {
+        const auto &agg = metrics.tierLatency(h.proxyId, c);
+        for (const auto &w : agg.windows()) {
+            if (w.start < warmup || w.samples.empty())
+                continue;
+            m.proxyP99Samples.push_back(w.samples.percentile(99.0));
+            for (double v : w.samples.samples())
+                proxyAll.add(v);
+        }
+        const auto tested =
+            metrics.tierLatency(h.testedId, c).collect(warmup, end);
+        for (double v : tested.samples())
+            testedAll.add(v);
+    }
+    m.proxyP99 = proxyAll.empty() ? 0.0 : proxyAll.percentile(99.0);
+    m.testedP99 = testedAll.empty() ? 0.0 : testedAll.percentile(99.0);
+    m.utilization = metrics.cpuUtilization(h.testedId, warmup, end);
+    return m;
+}
+
+} // namespace
+
+BpProfileResult
+profileBackpressureThreshold(const apps::AppSpec &app, int serviceIdx,
+                             const std::vector<double> &localRates,
+                             std::uint64_t seed,
+                             const BpProfilerOptions &opts)
+{
+    BpProfileResult res;
+
+    // Estimate CPU demand analytically and scale the load so the sweep
+    // is cheap; the threshold is a utilization ratio.
+    const auto &svc = app.services.at(serviceIdx);
+    double demand = 0.0;
+    for (const auto &[cls, b] : svc.behaviors) {
+        if (static_cast<std::size_t>(cls) < localRates.size())
+            demand += localRates[cls] *
+                      (b.computeMeanUs + b.postComputeMeanUs) / 1e6;
+    }
+    if (demand <= 0.0)
+        return res; // nothing to profile
+    const double scale =
+        std::min(1.0, opts.targetDemandCores / demand);
+    std::vector<double> rates = localRates;
+    for (double &r : rates)
+        r *= scale;
+    demand *= scale;
+
+    StepMeasurement prev;
+    bool havePrev = false;
+    double prevUtil = 1.0;
+    for (int k = 0; k < opts.maxSteps; ++k) {
+        const double limit = demand * opts.startFactor *
+                             std::pow(opts.growthFactor, k);
+        const StepMeasurement cur = measureStep(
+            app, serviceIdx, rates, limit, demand,
+            seed + 1000 * (k + 1), opts);
+        res.steps.push_back(
+            {limit, cur.proxyP99, cur.testedP99, cur.utilization});
+        res.timeSpent += opts.stepDuration + opts.stepDuration / 4;
+
+        if (havePrev &&
+            stats::meansEqual(prev.proxyP99Samples, cur.proxyP99Samples,
+                              opts.alpha)) {
+            // Proxy latency converged between the previous and current
+            // limits: the utilization just before convergence is the
+            // backpressure-free threshold.
+            res.threshold = prevUtil;
+            res.converged = true;
+            return res;
+        }
+        prevUtil = cur.utilization;
+        prev = cur;
+        havePrev = true;
+    }
+    // Never converged inside the sweep: be conservative and use the
+    // last measured utilization.
+    res.threshold = prevUtil;
+    return res;
+}
+
+} // namespace ursa::core

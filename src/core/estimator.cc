@@ -1,0 +1,58 @@
+#include "core/estimator.h"
+
+#include <stdexcept>
+
+namespace ursa::core
+{
+
+LatencyEstimator::LatencyEstimator(int numClasses, double ewmaAlpha)
+    : upper_(numClasses, 0.0), ratio_(numClasses, 1.0),
+      seeded_(numClasses, false), alpha_(ewmaAlpha)
+{
+    if (ewmaAlpha <= 0.0 || ewmaAlpha > 1.0)
+        throw std::invalid_argument("ewmaAlpha must be in (0, 1]");
+}
+
+void
+LatencyEstimator::setUpperBounds(std::vector<double> upperUs)
+{
+    if (upperUs.size() != upper_.size())
+        throw std::invalid_argument("upper-bound arity mismatch");
+    upper_ = std::move(upperUs);
+}
+
+void
+LatencyEstimator::observe(int classId, double measuredUs)
+{
+    const double ub = upper_.at(classId);
+    if (ub <= 0.0 || measuredUs <= 0.0)
+        return;
+    const double r = measuredUs / ub;
+    if (!seeded_.at(classId)) {
+        ratio_.at(classId) = r;
+        seeded_.at(classId) = true;
+    } else {
+        ratio_.at(classId) =
+            (1.0 - alpha_) * ratio_.at(classId) + alpha_ * r;
+    }
+}
+
+double
+LatencyEstimator::estimate(int classId) const
+{
+    return upper_.at(classId) * ratio_.at(classId);
+}
+
+double
+LatencyEstimator::upperBound(int classId) const
+{
+    return upper_.at(classId);
+}
+
+double
+LatencyEstimator::ratio(int classId) const
+{
+    return ratio_.at(classId);
+}
+
+} // namespace ursa::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Latency estimation with overestimation mitigation (paper Sec. IV end
+ * and Sec. VII-D): the Theorem-1 bound is a sound but loose upper
+ * bound; Ursa records the observed ratio of measured latency to the
+ * bound online (EWMA) and multiplies the bound by that expected ratio
+ * to produce calibrated estimates — the red curves of Figs. 9-10.
+ */
+
+#ifndef URSA_CORE_ESTIMATOR_H
+#define URSA_CORE_ESTIMATOR_H
+
+#include <vector>
+
+namespace ursa::core
+{
+
+/** Per-class calibrated latency estimator. */
+class LatencyEstimator
+{
+  public:
+    /**
+     * @param numClasses Number of request classes.
+     * @param ewmaAlpha Weight of the newest ratio observation.
+     */
+    explicit LatencyEstimator(int numClasses, double ewmaAlpha = 0.3);
+
+    /** Install the current model upper bounds (us, per class). */
+    void setUpperBounds(std::vector<double> upperUs);
+
+    /** Feed one measured latency (us) at the class's SLA percentile. */
+    void observe(int classId, double measuredUs);
+
+    /** Calibrated estimate (us): upper bound x expected ratio. */
+    double estimate(int classId) const;
+
+    /** Raw upper bound (us). */
+    double upperBound(int classId) const;
+
+    /** Current measured/bound ratio (1 until first observation). */
+    double ratio(int classId) const;
+
+  private:
+    std::vector<double> upper_;
+    std::vector<double> ratio_;
+    std::vector<bool> seeded_;
+    double alpha_;
+};
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_ESTIMATOR_H

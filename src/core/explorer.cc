@@ -1,0 +1,169 @@
+#include "core/explorer.h"
+
+#include "core/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ursa::core
+{
+
+std::vector<double>
+ExplorationController::localRates(const apps::AppSpec &app,
+                                  int serviceIdx) const
+{
+    const std::vector<double> &mix =
+        opts_.mix.empty() ? app.exploreMix : opts_.mix;
+    const double rps = opts_.appRps > 0.0 ? opts_.appRps : app.nominalRps;
+    const double total =
+        std::accumulate(mix.begin(), mix.end(), 0.0);
+    const auto visits = computeVisitCounts(app);
+    std::vector<double> rates(app.classes.size(), 0.0);
+    for (std::size_t c = 0; c < app.classes.size(); ++c)
+        rates[c] = rps * mix[c] / total * visits[serviceIdx][c];
+    return rates;
+}
+
+ServiceProfile
+ExplorationController::exploreService(const apps::AppSpec &app,
+                                      int serviceIdx, double bpThreshold,
+                                      const std::vector<double> &rates,
+                                      const PercentileGrid &grid) const
+{
+    const sim::ServiceConfig &svcCfg = app.services.at(serviceIdx);
+    ServiceProfile profile;
+    profile.serviceName = svcCfg.name;
+    profile.cpuPerReplica = svcCfg.cpuPerReplica;
+    profile.bpThreshold = bpThreshold;
+
+    // Initial replicas: adequate CPUs to keep latency low (paper
+    // Sec. VII-C): provision for a low utilization target.
+    double demand = 0.0;
+    for (const auto &[cls, b] : svcCfg.behaviors) {
+        if (static_cast<std::size_t>(cls) < rates.size())
+            demand += rates[cls] *
+                      (b.computeMeanUs + b.postComputeMeanUs) / 1e6;
+    }
+    if (demand <= 0.0)
+        return profile; // unused service: nothing to explore
+
+    int replicas = std::max(
+        1, static_cast<int>(std::ceil(
+               demand / (svcCfg.cpuPerReplica * opts_.initialUtilization))));
+
+    // A class's end-to-end target only constrains this service if the
+    // service lies on the class's SLA path (sync classes do not cover
+    // their async MQ/event side-branches).
+    const auto slaVisits = computeSlaVisitCounts(app);
+
+    const sim::SimTime warmup = opts_.window;
+    const sim::SimTime levelSpan =
+        warmup + opts_.window * opts_.windowsPerLevel;
+
+    while (replicas >= 1) {
+        IsolatedHarness h = makeIsolatedHarness(
+            app, serviceIdx, rates, replicas,
+            opts_.seed + 7919ULL * (replicas + 1), 64, opts_.window);
+        h.client->start(0);
+        h.cluster->run(levelSpan);
+        profile.samples += opts_.windowsPerLevel;
+        profile.exploreTime += levelSpan;
+
+        const auto &metrics = h.cluster->metrics();
+        const double util =
+            metrics.cpuUtilization(h.testedId, warmup, levelSpan);
+
+        // SLA-violation frequency: fraction of windows whose tested-
+        // service latency at the class's SLA percentile exceeds the
+        // full end-to-end target (a conservative per-service stop: if
+        // one service alone eats the budget, no feasible split exists).
+        int windows = 0, violating = 0;
+        for (std::size_t c = 0; c < app.classes.size(); ++c) {
+            if (rates[c] <= 0.0 || slaVisits[serviceIdx][c] <= 0.0)
+                continue;
+            const auto &agg = metrics.tierLatency(h.testedId,
+                                                  static_cast<int>(c));
+            for (const auto &w : agg.windows()) {
+                if (w.start < warmup || w.samples.empty())
+                    continue;
+                ++windows;
+                if (w.samples.percentile(app.classes[c].sla.percentile) >
+                    static_cast<double>(app.classes[c].sla.targetUs))
+                    ++violating;
+            }
+        }
+        const double violFreq =
+            windows ? static_cast<double>(violating) / windows : 0.0;
+
+        const bool bpStop =
+            opts_.enforceBpThreshold && util >= bpThreshold;
+        const bool unstable = util >= opts_.maxUtilization;
+        if (bpStop || unstable || violFreq >= opts_.slaViolationThreshold)
+            break; // Algorithm 1: terminate without recording
+
+        // Record this LPR level.
+        LprLevel level;
+        level.replicas = replicas;
+        level.cpuUtilization = util;
+        level.loadPerReplica.assign(app.classes.size(), 0.0);
+        level.latency.assign(app.classes.size(), {});
+        for (std::size_t c = 0; c < app.classes.size(); ++c) {
+            if (rates[c] <= 0.0)
+                continue;
+            const double measured = metrics.arrivalRate(
+                h.testedId, static_cast<int>(c), warmup, levelSpan);
+            level.loadPerReplica[c] = measured / replicas;
+            const auto samples = metrics
+                                     .tierLatency(h.testedId,
+                                                  static_cast<int>(c))
+                                     .collect(warmup, levelSpan);
+            level.latency[c].reserve(grid.size());
+            for (double p : grid)
+                level.latency[c].push_back(samples.percentile(p));
+        }
+        profile.levels.push_back(std::move(level));
+
+        replicas -= opts_.replicaStep;
+    }
+    return profile;
+}
+
+AppProfile
+ExplorationController::exploreApp(const apps::AppSpec &app) const
+{
+    AppProfile profile;
+    for (std::size_t s = 0; s < app.services.size(); ++s) {
+        const std::vector<double> rates =
+            localRates(app, static_cast<int>(s));
+        double bpThreshold = 1.0;
+        if (!app.services[s].mqConsumer) {
+            const BpProfileResult bp = profileBackpressureThreshold(
+                app, static_cast<int>(s), rates,
+                opts_.seed + 31ULL * (s + 1), opts_.bpOptions);
+            bpThreshold = bp.threshold;
+        }
+        profile.services.push_back(exploreService(
+            app, static_cast<int>(s), bpThreshold, rates, profile.grid));
+    }
+    return profile;
+}
+
+void
+ExplorationController::reexploreService(const apps::AppSpec &app,
+                                        int serviceIdx,
+                                        AppProfile &profile) const
+{
+    const std::vector<double> rates = localRates(app, serviceIdx);
+    double bpThreshold = 1.0;
+    if (!app.services[serviceIdx].mqConsumer) {
+        bpThreshold = profileBackpressureThreshold(
+                          app, serviceIdx, rates,
+                          opts_.seed + 101ULL, opts_.bpOptions)
+                          .threshold;
+    }
+    profile.services[serviceIdx] = exploreService(
+        app, serviceIdx, bpThreshold, rates, profile.grid);
+}
+
+} // namespace ursa::core

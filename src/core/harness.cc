@@ -1,0 +1,77 @@
+#include "core/harness.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ursa::core
+{
+
+double
+IsolatedHarness::totalRps() const
+{
+    return std::accumulate(localRates.begin(), localRates.end(), 0.0);
+}
+
+IsolatedHarness
+makeIsolatedHarness(const apps::AppSpec &app, int serviceIdx,
+                    const std::vector<double> &localRates,
+                    int testedReplicas, std::uint64_t seed,
+                    int proxyThreads, sim::SimTime metricsWindow)
+{
+    if (localRates.size() != app.classes.size())
+        throw std::invalid_argument("localRates arity mismatch");
+
+    const sim::ServiceConfig &orig = app.services.at(serviceIdx);
+    IsolatedHarness h;
+    h.cluster = std::make_unique<sim::Cluster>(seed, metricsWindow);
+    h.localRates = localRates;
+
+    // Proxy: forwards every driven class to the tested service. Its
+    // own work is negligible but its worker pool is finite, so tested-
+    // service backpressure shows up as proxy queueing (paper Fig. 3).
+    sim::ServiceConfig proxy;
+    proxy.name = "proxy";
+    proxy.threads = proxyThreads;
+    proxy.daemonThreads = proxyThreads;
+    proxy.cpuPerReplica = 8.0;
+    proxy.initialReplicas = 1;
+    const sim::CallKind kind = orig.mqConsumer ? sim::CallKind::MqPublish
+                                               : sim::CallKind::NestedRpc;
+    for (std::size_t c = 0; c < app.classes.size(); ++c) {
+        sim::ClassBehavior b;
+        b.computeMeanUs = 200.0;
+        b.computeCv = 0.1;
+        if (orig.behaviors.count(static_cast<int>(c)) &&
+            localRates[c] > 0.0)
+            b.calls.push_back({orig.name, kind});
+        proxy.behaviors[static_cast<int>(c)] = b;
+    }
+
+    // Tested service: original configuration with downstream calls
+    // stripped (compute preserved, including the post-call phase).
+    sim::ServiceConfig tested = orig;
+    tested.initialReplicas = testedReplicas;
+    for (auto &[cls, behavior] : tested.behaviors)
+        behavior.calls.clear();
+
+    h.proxyId = h.cluster->addService(proxy);
+    h.testedId = h.cluster->addService(tested);
+
+    for (std::size_t c = 0; c < app.classes.size(); ++c) {
+        sim::RequestClassSpec spec = app.classes[c];
+        spec.rootService = "proxy";
+        spec.asyncCompletion = orig.mqConsumer;
+        h.cluster->addClass(spec);
+    }
+    h.cluster->finalize();
+
+    const double total = h.totalRps();
+    if (total > 0.0) {
+        h.client = std::make_unique<sim::OpenLoopClient>(
+            *h.cluster, [total](sim::SimTime) { return total; },
+            sim::fixedMix(localRates), seed ^ 0x5eedULL);
+    }
+    return h;
+}
+
+} // namespace ursa::core

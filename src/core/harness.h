@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The isolated-service harness of paper Fig. 3: a workload generator
+ * drives a lightweight proxy which forwards every request to the
+ * tested service (nested RPC, or MQ publish for queue consumers). The
+ * backpressure profiler watches the proxy's latency; the exploration
+ * controller (Algorithm 1) measures the tested service's latency
+ * distributions. Downstream calls of the tested service are stripped —
+ * in a backpressure-free system its latency depends only on its own
+ * resources (Sec. III insight 4).
+ */
+
+#ifndef URSA_CORE_HARNESS_H
+#define URSA_CORE_HARNESS_H
+
+#include "apps/app.h"
+#include "sim/client.h"
+#include "sim/cluster.h"
+
+#include <memory>
+#include <vector>
+
+namespace ursa::core
+{
+
+/** An instantiated Fig.-3 harness. */
+struct IsolatedHarness
+{
+    std::unique_ptr<sim::Cluster> cluster;
+    sim::ServiceId proxyId = -1;
+    sim::ServiceId testedId = -1;
+    std::unique_ptr<sim::OpenLoopClient> client;
+    /** Per-class service-local request rates driven by the client. */
+    std::vector<double> localRates;
+
+    /** Total driven rps. */
+    double totalRps() const;
+};
+
+/**
+ * Build the harness for `app.services[serviceIdx]`.
+ *
+ * @param localRates Service-local per-class rates (rps), typically
+ *        app mix rate x visit count; zero for unhandled classes.
+ * @param testedReplicas Replica count of the tested service.
+ * @param proxyThreads Worker pool of the proxy: finite so that tested-
+ *        service saturation visibly backs up into the proxy.
+ */
+IsolatedHarness makeIsolatedHarness(const apps::AppSpec &app,
+                                    int serviceIdx,
+                                    const std::vector<double> &localRates,
+                                    int testedReplicas, std::uint64_t seed,
+                                    int proxyThreads = 64,
+                                    sim::SimTime metricsWindow = sim::kMin);
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_HARNESS_H

@@ -1,0 +1,105 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace ursa::core
+{
+
+bool
+ServiceProfile::handlesClass(sim::ClassId c) const
+{
+    if (levels.empty())
+        return false;
+    const auto &lv = levels.front();
+    return c >= 0 &&
+           static_cast<std::size_t>(c) < lv.loadPerReplica.size() &&
+           lv.loadPerReplica[c] > 0.0;
+}
+
+double
+ServiceProfile::lpr(int level, sim::ClassId c) const
+{
+    return levels.at(level).loadPerReplica.at(c);
+}
+
+int
+AppProfile::totalSamples() const
+{
+    int n = 0;
+    for (const ServiceProfile &s : services)
+        n += s.samples;
+    return n;
+}
+
+sim::SimTime
+AppProfile::wallClockExploreTime() const
+{
+    sim::SimTime t = 0;
+    for (const ServiceProfile &s : services)
+        t = std::max(t, s.exploreTime);
+    return t;
+}
+
+namespace
+{
+
+std::vector<std::vector<double>>
+walkVisits(const apps::AppSpec &app, bool syncPathsOnly)
+{
+    const std::size_t numServices = app.services.size();
+    const std::size_t numClasses = app.classes.size();
+    std::vector<std::vector<double>> visits(
+        numServices, std::vector<double>(numClasses, 0.0));
+
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < numServices; ++i)
+        index[app.services[i].name] = i;
+
+    for (std::size_t c = 0; c < numClasses; ++c) {
+        const bool followAsync =
+            !syncPathsOnly || app.classes[c].asyncCompletion;
+        // Walk the call tree with multiplicities.
+        std::function<void(std::size_t, double)> walk =
+            [&](std::size_t svc, double mult) {
+                visits[svc][c] += mult;
+                const auto &behaviors = app.services[svc].behaviors;
+                const auto it = behaviors.find(static_cast<int>(c));
+                if (it == behaviors.end())
+                    return;
+                for (const sim::CallSpec &call : it->second.calls) {
+                    if (!followAsync &&
+                        call.kind != sim::CallKind::NestedRpc)
+                        continue;
+                    const auto tgt = index.find(call.target);
+                    if (tgt == index.end())
+                        throw std::invalid_argument("unknown target " +
+                                                    call.target);
+                    walk(tgt->second, mult);
+                }
+            };
+        const auto root = index.find(app.classes[c].rootService);
+        if (root == index.end())
+            throw std::invalid_argument("unknown root service for class " +
+                                        app.classes[c].name);
+        walk(root->second, 1.0);
+    }
+    return visits;
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+computeVisitCounts(const apps::AppSpec &app)
+{
+    return walkVisits(app, /*syncPathsOnly=*/false);
+}
+
+std::vector<std::vector<double>>
+computeSlaVisitCounts(const apps::AppSpec &app)
+{
+    return walkVisits(app, /*syncPathsOnly=*/true);
+}
+
+} // namespace ursa::core

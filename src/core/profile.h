@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Exploration data: per-service latency distributions under different
+ * load-per-replica (LPR) thresholds — the D_i^j matrices and R_i
+ * vectors of the paper's MIP formulation (Table I) — plus static visit
+ * counts derived from the application topology.
+ */
+
+#ifndef URSA_CORE_PROFILE_H
+#define URSA_CORE_PROFILE_H
+
+#include "apps/app.h"
+#include "core/theorem.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ursa::core
+{
+
+/** One explored LPR level of one service. */
+struct LprLevel
+{
+    /** Replica count used when this level was measured. */
+    int replicas = 0;
+    /** Load per replica, per class (rps); 0 for unhandled classes. */
+    std::vector<double> loadPerReplica;
+    /**
+     * Tier latency (us) at each grid percentile, per class:
+     * latency[classId][gridIdx]. Empty rows for unhandled classes.
+     */
+    std::vector<std::vector<double>> latency;
+    /** Mean CPU utilization observed at this level, in [0, 1]. */
+    double cpuUtilization = 0.0;
+};
+
+/** Everything exploration learned about one service. */
+struct ServiceProfile
+{
+    std::string serviceName;
+    double cpuPerReplica = 1.0;
+    /** Backpressure-free CPU utilization threshold (Sec. III). */
+    double bpThreshold = 1.0;
+    /** Levels in increasing load-per-replica order. */
+    std::vector<LprLevel> levels;
+    /** Observation windows consumed exploring this service. */
+    int samples = 0;
+    /** Simulated time spent exploring this service. */
+    sim::SimTime exploreTime = 0;
+
+    /** True when the service serves class `c`. */
+    bool handlesClass(sim::ClassId c) const;
+
+    /** Total load the level can carry per replica for class `c`. */
+    double lpr(int level, sim::ClassId c) const;
+};
+
+/** Exploration output for a whole application. */
+struct AppProfile
+{
+    PercentileGrid grid = defaultGrid();
+    std::vector<ServiceProfile> services; ///< indexed by ServiceId
+    /** Total observation windows across all services (Table V). */
+    int totalSamples() const;
+    /** Max per-service explore time: services explore in parallel. */
+    sim::SimTime wallClockExploreTime() const;
+};
+
+/**
+ * Static visit counts: visits[service][class] = expected invocations of
+ * the service per request of the class, derived by walking the
+ * application topology (a read-timeline request visits post-storage
+ * twice, etc.). The paper folds repeated visits into "cumulative
+ * latency of all accesses" — the optimizer multiplies by these counts.
+ * Every call kind is followed: these counts size *load*.
+ */
+std::vector<std::vector<double>> computeVisitCounts(const apps::AppSpec &app);
+
+/**
+ * SLA-relevant visit counts: like computeVisitCounts, but for a class
+ * measured at its synchronous response (asyncCompletion == false) the
+ * walk does not descend through MqPublish or EventRpc calls — those
+ * branches complete after the response and do not bear on the class's
+ * latency SLA. Async-completion classes keep all visits. These counts
+ * define the stage lists of the latency constraints (MIP constraint 1)
+ * and the explorer's early-stop check.
+ */
+std::vector<std::vector<double>>
+computeSlaVisitCounts(const apps::AppSpec &app);
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_PROFILE_H

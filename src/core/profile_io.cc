@@ -1,0 +1,140 @@
+#include "core/profile_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ursa::core
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "ursa-profile-v1";
+
+void
+expect(std::istream &in, const std::string &token)
+{
+    std::string got;
+    in >> got;
+    if (got != token)
+        throw std::runtime_error("profile parse error: expected '" +
+                                 token + "', got '" + got + "'");
+}
+
+} // namespace
+
+void
+saveAppProfile(const AppProfile &profile, std::ostream &out)
+{
+    out << kMagic << "\n";
+    out << std::setprecision(17);
+    out << "grid " << profile.grid.size();
+    for (double p : profile.grid)
+        out << ' ' << p;
+    out << "\nservices " << profile.services.size() << "\n";
+    for (const ServiceProfile &svc : profile.services) {
+        const std::size_t classes =
+            svc.levels.empty() ? 0 : svc.levels.front().loadPerReplica.size();
+        out << "service " << svc.serviceName << ' ' << svc.cpuPerReplica
+            << ' ' << svc.bpThreshold << ' ' << svc.samples << ' '
+            << svc.exploreTime << ' ' << svc.levels.size() << ' '
+            << classes << "\n";
+        for (const LprLevel &level : svc.levels) {
+            out << "level " << level.replicas << ' '
+                << level.cpuUtilization;
+            for (double v : level.loadPerReplica)
+                out << ' ' << v;
+            out << "\n";
+            for (std::size_t c = 0; c < classes; ++c) {
+                out << "lat";
+                if (level.latency[c].empty()) {
+                    for (std::size_t g = 0; g < profile.grid.size(); ++g)
+                        out << " -1";
+                } else {
+                    for (double v : level.latency[c])
+                        out << ' ' << v;
+                }
+                out << "\n";
+            }
+        }
+    }
+}
+
+bool
+saveAppProfile(const AppProfile &profile, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    saveAppProfile(profile, out);
+    return static_cast<bool>(out);
+}
+
+AppProfile
+loadAppProfile(std::istream &in)
+{
+    std::string magic;
+    in >> magic;
+    if (magic != kMagic)
+        throw std::runtime_error("not an ursa profile (bad magic)");
+
+    AppProfile profile;
+    expect(in, "grid");
+    std::size_t gridSize = 0;
+    in >> gridSize;
+    profile.grid.resize(gridSize);
+    for (double &p : profile.grid)
+        in >> p;
+
+    expect(in, "services");
+    std::size_t numServices = 0;
+    in >> numServices;
+    profile.services.resize(numServices);
+    for (ServiceProfile &svc : profile.services) {
+        expect(in, "service");
+        std::size_t numLevels = 0, numClasses = 0;
+        in >> svc.serviceName >> svc.cpuPerReplica >> svc.bpThreshold >>
+            svc.samples >> svc.exploreTime >> numLevels >> numClasses;
+        svc.levels.resize(numLevels);
+        for (LprLevel &level : svc.levels) {
+            expect(in, "level");
+            in >> level.replicas >> level.cpuUtilization;
+            level.loadPerReplica.resize(numClasses);
+            for (double &v : level.loadPerReplica)
+                in >> v;
+            level.latency.assign(numClasses, {});
+            for (std::size_t c = 0; c < numClasses; ++c) {
+                expect(in, "lat");
+                std::vector<double> row(profile.grid.size());
+                for (double &v : row)
+                    in >> v;
+                if (!row.empty() && row.front() >= 0.0)
+                    level.latency[c] = std::move(row);
+            }
+        }
+        if (!in)
+            throw std::runtime_error("truncated profile for service " +
+                                     svc.serviceName);
+    }
+    return profile;
+}
+
+AppProfile
+loadAppProfile(const std::string &path, bool &ok)
+{
+    ok = false;
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    try {
+        AppProfile profile = loadAppProfile(in);
+        ok = true;
+        return profile;
+    } catch (const std::exception &) {
+        return {};
+    }
+}
+
+} // namespace ursa::core

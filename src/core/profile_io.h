@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain-text serialization of exploration profiles, so the expensive
+ * offline exploration runs once and every benchmark binary can reuse
+ * its output — mirroring how a production deployment would persist
+ * exploration data between controller restarts.
+ */
+
+#ifndef URSA_CORE_PROFILE_IO_H
+#define URSA_CORE_PROFILE_IO_H
+
+#include "core/profile.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace ursa::core
+{
+
+/** Serialize a profile (versioned, human-readable). */
+void saveAppProfile(const AppProfile &profile, std::ostream &out);
+
+/** Save to a file path; returns false on I/O failure. */
+bool saveAppProfile(const AppProfile &profile, const std::string &path);
+
+/**
+ * Parse a profile written by saveAppProfile.
+ * @throws std::runtime_error on malformed input.
+ */
+AppProfile loadAppProfile(std::istream &in);
+
+/**
+ * Load from a file path.
+ * @param ok Set to whether the file existed and parsed.
+ */
+AppProfile loadAppProfile(const std::string &path, bool &ok);
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_PROFILE_IO_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The per-service resource controller (paper Sec. V, component 4):
+ * given the load-per-replica thresholds chosen by the optimization
+ * engine, it adjusts the replica count as load changes so no request
+ * class's per-replica load exceeds its threshold. Welch's t-test
+ * absorbs load-measurement noise: the controller only scales out when
+ * the measured load significantly exceeds the current capacity, and
+ * only scales in when it fits significantly below the shrunk capacity.
+ *
+ * This threshold check is the entire critical path of an Ursa scaling
+ * decision — the reason Ursa's control plane is orders of magnitude
+ * faster than ML inference (paper Table VI).
+ */
+
+#ifndef URSA_CORE_RESOURCE_CONTROLLER_H
+#define URSA_CORE_RESOURCE_CONTROLLER_H
+
+#include "sim/cluster.h"
+#include "stats/online.h"
+
+#include <vector>
+
+namespace ursa::core
+{
+
+/** Controller tuning. */
+struct ResourceControllerOptions
+{
+    /** Load-history windows fed to the t-test. */
+    int historyWindows = 3;
+    /** t-test significance. */
+    double alpha = 0.05;
+    /** Scale in only when load fits below safety * shrunk capacity. */
+    double scaleInSafety = 0.85;
+    int minReplicas = 1;
+    int maxReplicas = 256;
+};
+
+/** Scales one service against its LPR thresholds. */
+class ResourceController
+{
+  public:
+    ResourceController(sim::Cluster &cluster, sim::ServiceId service,
+                       ResourceControllerOptions opts = {});
+
+    /** Install per-class LPR thresholds (rps/replica; <=0 = ignore). */
+    void setThresholds(std::vector<double> lpr);
+
+    /** Current thresholds. */
+    const std::vector<double> &thresholds() const { return lpr_; }
+
+    /**
+     * One control decision at the current simulation time; applies the
+     * new replica count to the service. @return replicas after the
+     * decision.
+     */
+    int tick();
+
+    /**
+     * Wall-clock latency of tick() decisions in microseconds —
+     * the deployment-path control-plane latency of Table VI.
+     */
+    const stats::OnlineStats &decisionLatencyUs() const
+    {
+        return decisionLatency_;
+    }
+
+    /** Scaling actions actually taken. */
+    int scaleEvents() const { return scaleEvents_; }
+
+  private:
+    sim::Cluster &cluster_;
+    sim::ServiceId service_;
+    ResourceControllerOptions opts_;
+    std::vector<double> lpr_;
+    stats::OnlineStats decisionLatency_;
+    int scaleEvents_ = 0;
+};
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_RESOURCE_CONTROLLER_H

@@ -1,0 +1,134 @@
+#include "core/theorem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ursa::core
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Residuals in 0.1-percentile integer units, rounded conservatively
+ * up so the DP never under-counts a residual. */
+int
+residualUnits(double percentile)
+{
+    return static_cast<int>(std::ceil(residual(percentile) * 10.0 - 1e-9));
+}
+
+} // namespace
+
+PercentileGrid
+defaultGrid()
+{
+    return {50.0, 75.0, 90.0, 95.0, 99.0, 99.5, 99.9};
+}
+
+double
+residual(double percentile)
+{
+    return 100.0 - percentile;
+}
+
+bool
+splitSatisfiesResiduals(const std::vector<double> &stagePercentiles,
+                        double endToEndPercentile)
+{
+    double sum = 0.0;
+    for (double p : stagePercentiles)
+        sum += residual(p);
+    return residual(endToEndPercentile) >= sum - 1e-12;
+}
+
+SplitResult
+optimizePercentileSplit(
+    const std::vector<std::vector<double>> &latencyByStage,
+    const PercentileGrid &grid, double endToEndPercentile)
+{
+    SplitResult res;
+    const std::size_t n = latencyByStage.size();
+    if (n == 0) {
+        res.feasible = true;
+        return res;
+    }
+    for (const auto &row : latencyByStage) {
+        if (row.size() != grid.size())
+            throw std::invalid_argument(
+                "latency row does not match percentile grid");
+    }
+    for (std::size_t g = 1; g < grid.size(); ++g)
+        if (grid[g] <= grid[g - 1])
+            throw std::invalid_argument("grid must be increasing");
+
+    const int budget =
+        static_cast<int>(std::floor(residual(endToEndPercentile) * 10.0 +
+                                    1e-9));
+    if (budget < 0)
+        return res;
+
+    std::vector<int> cost(grid.size());
+    for (std::size_t g = 0; g < grid.size(); ++g)
+        cost[g] = residualUnits(grid[g]);
+
+    // dp[s][b] = min latency sum over the first s stages using residual
+    // budget exactly b; choice[s][b] = grid index of stage s-1 on that
+    // optimum (kept per stage so the solution is reconstructible).
+    const std::size_t bmax = static_cast<std::size_t>(budget) + 1;
+    std::vector<std::vector<double>> dp(n + 1,
+                                        std::vector<double>(bmax, kInf));
+    std::vector<std::vector<int>> choice(n,
+                                         std::vector<int>(bmax, -1));
+    dp[0][0] = 0.0;
+
+    for (std::size_t s = 0; s < n; ++s) {
+        for (int b = 0; b <= budget; ++b) {
+            if (!std::isfinite(dp[s][b]))
+                continue;
+            for (std::size_t g = 0; g < grid.size(); ++g) {
+                const double lat = latencyByStage[s][g];
+                if (!std::isfinite(lat))
+                    continue;
+                const int nb = b + cost[g];
+                if (nb > budget)
+                    continue;
+                const double total = dp[s][b] + lat;
+                if (total < dp[s + 1][nb]) {
+                    dp[s + 1][nb] = total;
+                    choice[s][nb] = static_cast<int>(g);
+                }
+            }
+        }
+    }
+
+    int bestB = -1;
+    double best = kInf;
+    for (int b = 0; b <= budget; ++b) {
+        if (dp[n][b] < best) {
+            best = dp[n][b];
+            bestB = b;
+        }
+    }
+    if (bestB < 0)
+        return res;
+
+    res.feasible = true;
+    res.totalLatency = best;
+    res.chosenIdx.assign(n, -1);
+    int b = bestB;
+    for (std::size_t s = n; s-- > 0;) {
+        const int g = choice[s][b];
+        assert(g >= 0);
+        res.chosenIdx[s] = g;
+        b -= cost[static_cast<std::size_t>(g)];
+    }
+    assert(b >= 0);
+    return res;
+}
+
+} // namespace ursa::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Theorem 1 of the paper and the percentile-split optimization built on
+ * it.
+ *
+ * Theorem 1: for a chain S_1..S_n with per-service latency percentile
+ * functions t_i, the end-to-end x_e-th percentile satisfies
+ *
+ *   t_e(x_e) <= sum_i t_i(x_i)   whenever
+ *   100 - x_e >= sum_i (100 - x_i),
+ *
+ * for ANY joint distribution (union bound on tail events). The solver
+ * therefore may pick any per-stage percentiles whose residuals
+ * (100 - x_i) fit in the end-to-end residual budget (100 - x_e); this
+ * file provides the exact dynamic program that picks the residual-
+ * feasible combination minimizing the latency sum over a discretized
+ * percentile grid.
+ */
+
+#ifndef URSA_CORE_THEOREM_H
+#define URSA_CORE_THEOREM_H
+
+#include <vector>
+
+namespace ursa::core
+{
+
+/**
+ * The discretized percentile grid shared by profiling and the solver.
+ * Must be strictly increasing, in (0, 100).
+ */
+using PercentileGrid = std::vector<double>;
+
+/** A reasonable default grid covering p50 and p99-style SLAs. */
+PercentileGrid defaultGrid();
+
+/** Residual (100 - x) of a percentile. */
+double residual(double percentile);
+
+/**
+ * Check the Theorem-1 residual condition for a concrete choice of
+ * per-stage percentiles against an end-to-end percentile.
+ */
+bool splitSatisfiesResiduals(const std::vector<double> &stagePercentiles,
+                             double endToEndPercentile);
+
+/** Result of the percentile-split DP. */
+struct SplitResult
+{
+    bool feasible = false;
+    /** Minimal sum of per-stage latencies among feasible splits. */
+    double totalLatency = 0.0;
+    /** Chosen grid index per stage. */
+    std::vector<int> chosenIdx;
+};
+
+/**
+ * Exact percentile-split optimization: given per-stage latency values
+ * at each grid percentile (`latencyByStage[stage][gridIdx]`, +inf
+ * allowed to forbid options), pick one grid percentile per stage
+ * minimizing the latency sum subject to Theorem 1's residual budget
+ * for `endToEndPercentile`.
+ *
+ * Runs a dynamic program over integer-scaled residuals (0.1-percentile
+ * resolution), exact for grids quantized to 0.1.
+ */
+SplitResult optimizePercentileSplit(
+    const std::vector<std::vector<double>> &latencyByStage,
+    const PercentileGrid &grid, double endToEndPercentile);
+
+} // namespace ursa::core
+
+#endif // URSA_CORE_THEOREM_H

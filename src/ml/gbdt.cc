@@ -1,0 +1,217 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ursa::ml
+{
+
+namespace
+{
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+double
+meanOf(const std::vector<double> &v, const std::vector<int> &idx, int begin,
+       int end)
+{
+    double s = 0.0;
+    for (int i = begin; i < end; ++i)
+        s += v[idx[i]];
+    return s / std::max(1, end - begin);
+}
+
+} // namespace
+
+Gbdt::Gbdt(GbdtConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.numTrees < 1 || cfg_.maxDepth < 1 ||
+        cfg_.minSamplesLeaf < 1 || cfg_.learningRate <= 0.0)
+        throw std::invalid_argument("bad GbdtConfig");
+}
+
+double
+Gbdt::Tree::eval(const std::vector<double> &x) const
+{
+    int cur = 0;
+    while (nodes[cur].feature >= 0) {
+        cur = x[nodes[cur].feature] <= nodes[cur].threshold
+                  ? nodes[cur].left
+                  : nodes[cur].right;
+    }
+    return nodes[cur].value;
+}
+
+int
+Gbdt::buildNode(Tree &tree, const std::vector<std::vector<double>> &xs,
+                const std::vector<double> &grad, std::vector<int> &idx,
+                int begin, int end, int depth) const
+{
+    const int nodeId = static_cast<int>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    const int n = end - begin;
+    const double mean = meanOf(grad, idx, begin, end);
+
+    if (depth >= cfg_.maxDepth || n < 2 * cfg_.minSamplesLeaf) {
+        tree.nodes[nodeId].value = mean;
+        return nodeId;
+    }
+
+    // Exact greedy split search: for each feature, sort the index range
+    // and scan split points minimizing the sum of squared residuals.
+    const int dim = static_cast<int>(xs[idx[begin]].size());
+    double bestGain = 1e-12;
+    int bestFeature = -1;
+    double bestThreshold = 0.0;
+
+    double total = 0.0, totalSq = 0.0;
+    for (int i = begin; i < end; ++i) {
+        total += grad[idx[i]];
+        totalSq += grad[idx[i]] * grad[idx[i]];
+    }
+    const double parentSse = totalSq - total * total / n;
+
+    std::vector<int> sorted(idx.begin() + begin, idx.begin() + end);
+    for (int f = 0; f < dim; ++f) {
+        std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+            return xs[a][f] < xs[b][f];
+        });
+        double leftSum = 0.0, leftSq = 0.0;
+        for (int i = 0; i + 1 < n; ++i) {
+            const double g = grad[sorted[i]];
+            leftSum += g;
+            leftSq += g * g;
+            const int nl = i + 1, nr = n - nl;
+            if (nl < cfg_.minSamplesLeaf || nr < cfg_.minSamplesLeaf)
+                continue;
+            if (xs[sorted[i]][f] == xs[sorted[i + 1]][f])
+                continue; // no valid threshold between equal values
+            const double rightSum = total - leftSum;
+            const double rightSq = totalSq - leftSq;
+            const double sse = (leftSq - leftSum * leftSum / nl) +
+                               (rightSq - rightSum * rightSum / nr);
+            const double gain = parentSse - sse;
+            if (gain > bestGain) {
+                bestGain = gain;
+                bestFeature = f;
+                bestThreshold =
+                    0.5 * (xs[sorted[i]][f] + xs[sorted[i + 1]][f]);
+            }
+        }
+    }
+
+    if (bestFeature < 0) {
+        tree.nodes[nodeId].value = mean;
+        return nodeId;
+    }
+
+    // Partition the index range in place.
+    const auto mid = std::stable_partition(
+        idx.begin() + begin, idx.begin() + end, [&](int i) {
+            return xs[i][bestFeature] <= bestThreshold;
+        });
+    const int midPos = static_cast<int>(mid - idx.begin());
+    if (midPos == begin || midPos == end) {
+        tree.nodes[nodeId].value = mean;
+        return nodeId;
+    }
+
+    tree.nodes[nodeId].feature = bestFeature;
+    tree.nodes[nodeId].threshold = bestThreshold;
+    const int left =
+        buildNode(tree, xs, grad, idx, begin, midPos, depth + 1);
+    const int right =
+        buildNode(tree, xs, grad, idx, midPos, end, depth + 1);
+    tree.nodes[nodeId].left = left;
+    tree.nodes[nodeId].right = right;
+    return nodeId;
+}
+
+Gbdt::Tree
+Gbdt::buildTree(const std::vector<std::vector<double>> &xs,
+                const std::vector<double> &grad,
+                std::vector<int> &indices) const
+{
+    Tree tree;
+    buildNode(tree, xs, grad, indices, 0,
+              static_cast<int>(indices.size()), 0);
+    return tree;
+}
+
+void
+Gbdt::fit(const std::vector<std::vector<double>> &xs,
+          const std::vector<double> &ys)
+{
+    if (xs.empty() || xs.size() != ys.size())
+        throw std::invalid_argument("bad dataset");
+    const std::size_t n = xs.size();
+    trees_.clear();
+
+    // Base prediction: mean (Squared) or prior log-odds (Logistic).
+    if (cfg_.objective == Objective::Squared) {
+        basePrediction_ =
+            std::accumulate(ys.begin(), ys.end(), 0.0) /
+            static_cast<double>(n);
+    } else {
+        const double p = std::clamp(
+            std::accumulate(ys.begin(), ys.end(), 0.0) /
+                static_cast<double>(n),
+            1e-6, 1.0 - 1e-6);
+        basePrediction_ = std::log(p / (1.0 - p));
+    }
+
+    std::vector<double> score(n, basePrediction_);
+    std::vector<double> residual(n);
+    std::vector<int> indices(n);
+    for (int t = 0; t < cfg_.numTrees; ++t) {
+        // Negative gradient of the loss wrt the current score.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cfg_.objective == Objective::Squared)
+                residual[i] = ys[i] - score[i];
+            else
+                residual[i] = ys[i] - sigmoid(score[i]);
+        }
+        std::iota(indices.begin(), indices.end(), 0);
+        Tree tree = buildTree(xs, residual, indices);
+        for (std::size_t i = 0; i < n; ++i)
+            score[i] += cfg_.learningRate * tree.eval(xs[i]);
+        trees_.push_back(std::move(tree));
+    }
+    trained_ = true;
+}
+
+double
+Gbdt::rawScore(const std::vector<double> &x) const
+{
+    double s = basePrediction_;
+    for (const Tree &t : trees_)
+        s += cfg_.learningRate * t.eval(x);
+    return s;
+}
+
+double
+Gbdt::predict(const std::vector<double> &x) const
+{
+    if (!trained_)
+        throw std::logic_error("predict before fit");
+    const double s = rawScore(x);
+    return cfg_.objective == Objective::Squared ? s : sigmoid(s);
+}
+
+bool
+Gbdt::predictClass(const std::vector<double> &x) const
+{
+    if (cfg_.objective != Objective::Logistic)
+        throw std::logic_error("predictClass needs Logistic objective");
+    return predict(x) >= 0.5;
+}
+
+} // namespace ursa::ml

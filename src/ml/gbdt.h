@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Gradient-boosted regression trees, from scratch: CART trees fit to
+ * negative gradients with shrinkage. Supports squared loss (regression)
+ * and logistic loss (binary classification). This is the
+ * boosted-trees half of the Sinan baseline's model stack.
+ */
+
+#ifndef URSA_ML_GBDT_H
+#define URSA_ML_GBDT_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ursa::ml
+{
+
+/** Objective for boosting. */
+enum class Objective
+{
+    Squared,  ///< regression on y
+    Logistic, ///< binary classification, y in {0, 1}
+};
+
+/** Tuning knobs. */
+struct GbdtConfig
+{
+    int numTrees = 100;
+    int maxDepth = 3;
+    int minSamplesLeaf = 5;
+    double learningRate = 0.1;
+    Objective objective = Objective::Squared;
+};
+
+/** A gradient-boosted tree ensemble. */
+class Gbdt
+{
+  public:
+    explicit Gbdt(GbdtConfig cfg = {});
+
+    /**
+     * Fit on a dataset. Rows of `xs` must share one dimension;
+     * `ys` must be the same length (for Logistic: labels in {0,1}).
+     */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys);
+
+    /**
+     * Raw score: regression value (Squared) or probability (Logistic).
+     */
+    double predict(const std::vector<double> &x) const;
+
+    /** Logistic only: hard 0/1 prediction at threshold 0.5. */
+    bool predictClass(const std::vector<double> &x) const;
+
+    /** Number of trees actually fit. */
+    int treeCount() const { return static_cast<int>(trees_.size()); }
+
+    /** True after a successful fit(). */
+    bool trained() const { return trained_; }
+
+  private:
+    struct Node
+    {
+        int feature = -1; ///< -1 marks a leaf
+        double threshold = 0.0;
+        double value = 0.0; ///< leaf output
+        int left = -1, right = -1;
+    };
+    struct Tree
+    {
+        std::vector<Node> nodes;
+        double eval(const std::vector<double> &x) const;
+    };
+
+    Tree buildTree(const std::vector<std::vector<double>> &xs,
+                   const std::vector<double> &grad,
+                   std::vector<int> &indices) const;
+    int buildNode(Tree &tree, const std::vector<std::vector<double>> &xs,
+                  const std::vector<double> &grad, std::vector<int> &idx,
+                  int begin, int end, int depth) const;
+    double rawScore(const std::vector<double> &x) const;
+
+    GbdtConfig cfg_;
+    double basePrediction_ = 0.0;
+    std::vector<Tree> trees_;
+    bool trained_ = false;
+};
+
+} // namespace ursa::ml
+
+#endif // URSA_ML_GBDT_H

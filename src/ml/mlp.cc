@@ -1,0 +1,252 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ursa::ml
+{
+
+namespace
+{
+
+double
+sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+} // namespace
+
+Mlp::Mlp(std::vector<int> sizes, std::uint64_t seed, double learningRate)
+    : sizes_(std::move(sizes)), lr_(learningRate)
+{
+    if (sizes_.size() < 2)
+        throw std::invalid_argument("Mlp needs at least input and output");
+    stats::Rng rng(seed);
+    for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+        Layer layer;
+        layer.in = sizes_[l];
+        layer.out = sizes_[l + 1];
+        layer.w.resize(static_cast<std::size_t>(layer.in) * layer.out);
+        layer.b.assign(layer.out, 0.0);
+        // He initialization for ReLU nets.
+        const double scale = std::sqrt(2.0 / layer.in);
+        for (double &w : layer.w)
+            w = rng.normal(0.0, scale);
+        layer.mw.assign(layer.w.size(), 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.mb.assign(layer.b.size(), 0.0);
+        layer.vb.assign(layer.b.size(), 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void
+Mlp::forwardInternal(const std::vector<double> &x,
+                     std::vector<std::vector<double>> &acts,
+                     Loss loss) const
+{
+    assert(static_cast<int>(x.size()) == sizes_.front());
+    acts.clear();
+    acts.push_back(x);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        std::vector<double> z(layer.out, 0.0);
+        const std::vector<double> &a = acts.back();
+        for (int o = 0; o < layer.out; ++o) {
+            double sum = layer.b[o];
+            const double *row =
+                layer.w.data() + static_cast<std::size_t>(o) * layer.in;
+            for (int i = 0; i < layer.in; ++i)
+                sum += row[i] * a[i];
+            z[o] = sum;
+        }
+        const bool last = (l + 1 == layers_.size());
+        if (!last) {
+            for (double &v : z)
+                v = std::max(0.0, v); // ReLU
+        } else if (loss == Loss::Logistic) {
+            for (double &v : z)
+                v = sigmoid(v);
+        }
+        acts.push_back(std::move(z));
+    }
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &x, Loss loss) const
+{
+    std::vector<std::vector<double>> acts;
+    forwardInternal(x, acts, loss);
+    return acts.back();
+}
+
+double
+Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
+                const std::vector<std::vector<double>> &ys, Loss loss)
+{
+    if (xs.empty() || xs.size() != ys.size())
+        throw std::invalid_argument("bad training batch");
+
+    // Accumulate gradients over the batch.
+    struct Grad
+    {
+        std::vector<double> w, b;
+    };
+    std::vector<Grad> grads(layers_.size());
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        grads[l].w.assign(layers_[l].w.size(), 0.0);
+        grads[l].b.assign(layers_[l].b.size(), 0.0);
+    }
+
+    double totalLoss = 0.0;
+    std::vector<std::vector<double>> acts;
+    for (std::size_t n = 0; n < xs.size(); ++n) {
+        forwardInternal(xs[n], acts, loss);
+        const std::vector<double> &out = acts.back();
+        const std::vector<double> &y = ys[n];
+        assert(y.size() == out.size());
+
+        // Output delta. For MSE with linear output and for BCE with
+        // sigmoid output, dL/dz conveniently equals (out - y).
+        std::vector<double> delta(out.size());
+        for (std::size_t o = 0; o < out.size(); ++o) {
+            delta[o] = out[o] - y[o];
+            if (loss == Loss::MeanSquared) {
+                totalLoss += 0.5 * delta[o] * delta[o];
+            } else {
+                const double p = std::clamp(out[o], 1e-12, 1.0 - 1e-12);
+                totalLoss +=
+                    -(y[o] * std::log(p) + (1.0 - y[o]) * std::log(1.0 - p));
+            }
+        }
+
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+            Layer &layer = layers_[l];
+            const std::vector<double> &aPrev = acts[l];
+            for (int o = 0; o < layer.out; ++o) {
+                grads[l].b[o] += delta[o];
+                double *grow =
+                    grads[l].w.data() +
+                    static_cast<std::size_t>(o) * layer.in;
+                for (int i = 0; i < layer.in; ++i)
+                    grow[i] += delta[o] * aPrev[i];
+            }
+            if (l == 0)
+                break;
+            // Propagate delta through weights and the ReLU derivative.
+            std::vector<double> prev(layer.in, 0.0);
+            for (int o = 0; o < layer.out; ++o) {
+                const double *row =
+                    layer.w.data() + static_cast<std::size_t>(o) * layer.in;
+                for (int i = 0; i < layer.in; ++i)
+                    prev[i] += row[i] * delta[o];
+            }
+            for (int i = 0; i < layer.in; ++i)
+                if (acts[l][i] <= 0.0)
+                    prev[i] = 0.0;
+            delta = std::move(prev);
+        }
+    }
+
+    // Adam update.
+    ++adamStep_;
+    constexpr double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    const double invN = 1.0 / static_cast<double>(xs.size());
+    const double bc1 =
+        1.0 - std::pow(beta1, static_cast<double>(adamStep_));
+    const double bc2 =
+        1.0 - std::pow(beta2, static_cast<double>(adamStep_));
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer &layer = layers_[l];
+        auto adam = [&](std::vector<double> &param, std::vector<double> &m,
+                        std::vector<double> &v,
+                        const std::vector<double> &g) {
+            for (std::size_t i = 0; i < param.size(); ++i) {
+                const double grad = g[i] * invN;
+                m[i] = beta1 * m[i] + (1.0 - beta1) * grad;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * grad * grad;
+                param[i] -= lr_ * (m[i] / bc1) /
+                            (std::sqrt(v[i] / bc2) + eps);
+            }
+        };
+        adam(layer.w, layer.mw, layer.vw, grads[l].w);
+        adam(layer.b, layer.mb, layer.vb, grads[l].b);
+    }
+    return totalLoss / static_cast<double>(xs.size());
+}
+
+double
+Mlp::fit(const std::vector<std::vector<double>> &xs,
+         const std::vector<std::vector<double>> &ys, Loss loss, int epochs,
+         int batchSize, std::uint64_t shuffleSeed)
+{
+    if (xs.empty() || xs.size() != ys.size())
+        throw std::invalid_argument("bad dataset");
+    stats::Rng rng(shuffleSeed);
+    std::vector<std::size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), 0);
+    double lastLoss = 0.0;
+    for (int e = 0; e < epochs; ++e) {
+        // Fisher-Yates shuffle with the project RNG (deterministic).
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.uniformInt(i)]);
+        double epochLoss = 0.0;
+        std::size_t batches = 0;
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(batchSize)) {
+            std::vector<std::vector<double>> bx, by;
+            for (std::size_t i = start;
+                 i < std::min(order.size(),
+                              start + static_cast<std::size_t>(batchSize));
+                 ++i) {
+                bx.push_back(xs[order[i]]);
+                by.push_back(ys[order[i]]);
+            }
+            epochLoss += trainBatch(bx, by, loss);
+            ++batches;
+        }
+        lastLoss = epochLoss / static_cast<double>(batches);
+    }
+    return lastLoss;
+}
+
+void
+Mlp::copyWeightsFrom(const Mlp &other)
+{
+    if (sizes_ != other.sizes_)
+        throw std::invalid_argument("shape mismatch");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        layers_[l].w = other.layers_[l].w;
+        layers_[l].b = other.layers_[l].b;
+    }
+}
+
+void
+Mlp::blendWeightsFrom(const Mlp &other, double tau)
+{
+    if (sizes_ != other.sizes_)
+        throw std::invalid_argument("shape mismatch");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        for (std::size_t i = 0; i < layers_[l].w.size(); ++i)
+            layers_[l].w[i] = (1.0 - tau) * layers_[l].w[i] +
+                              tau * other.layers_[l].w[i];
+        for (std::size_t i = 0; i < layers_[l].b.size(); ++i)
+            layers_[l].b[i] = (1.0 - tau) * layers_[l].b[i] +
+                              tau * other.layers_[l].b[i];
+    }
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t n = 0;
+    for (const Layer &l : layers_)
+        n += l.w.size() + l.b.size();
+    return n;
+}
+
+} // namespace ursa::ml

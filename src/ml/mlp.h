@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A small from-scratch multi-layer perceptron with ReLU hidden layers
+ * and an Adam optimizer. This is the neural-network substrate for the
+ * ML-driven baselines: Sinan's latency/violation predictors and Firm's
+ * per-service RL agents (paper Sec. VII-B).
+ */
+
+#ifndef URSA_ML_MLP_H
+#define URSA_ML_MLP_H
+
+#include "stats/rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ursa::ml
+{
+
+/** Output-layer/loss pairing. */
+enum class Loss
+{
+    MeanSquared, ///< linear output, MSE (regression)
+    Logistic,    ///< sigmoid output, binary cross-entropy
+};
+
+/** A feed-forward network: sizes = {in, hidden..., out}. */
+class Mlp
+{
+  public:
+    /**
+     * @param sizes Layer widths, at least {in, out}.
+     * @param seed Weight-init seed (He initialization).
+     * @param learningRate Adam step size.
+     */
+    Mlp(std::vector<int> sizes, std::uint64_t seed,
+        double learningRate = 1e-3);
+
+    /** Forward pass (applies sigmoid on output iff loss is Logistic). */
+    std::vector<double> forward(const std::vector<double> &x,
+                                Loss loss = Loss::MeanSquared) const;
+
+    /**
+     * One Adam step on a mini-batch; returns the mean loss.
+     * X and Y must be equal-length and non-empty.
+     */
+    double trainBatch(const std::vector<std::vector<double>> &xs,
+                      const std::vector<std::vector<double>> &ys,
+                      Loss loss);
+
+    /**
+     * Convenience: epochs of mini-batch SGD over a dataset with
+     * shuffling. Returns the final epoch's mean loss.
+     */
+    double fit(const std::vector<std::vector<double>> &xs,
+               const std::vector<std::vector<double>> &ys, Loss loss,
+               int epochs, int batchSize, std::uint64_t shuffleSeed = 1);
+
+    /** Copy weights from another identically-shaped network. */
+    void copyWeightsFrom(const Mlp &other);
+
+    /** Soft-update weights toward another network (Polyak averaging). */
+    void blendWeightsFrom(const Mlp &other, double tau);
+
+    /** Input dimension. */
+    int inputDim() const { return sizes_.front(); }
+
+    /** Output dimension. */
+    int outputDim() const { return sizes_.back(); }
+
+    /** Total number of parameters. */
+    std::size_t parameterCount() const;
+
+  private:
+    struct Layer
+    {
+        std::vector<double> w; ///< out x in, row-major
+        std::vector<double> b;
+        // Adam state
+        std::vector<double> mw, vw, mb, vb;
+        int in = 0, out = 0;
+    };
+
+    void forwardInternal(const std::vector<double> &x,
+                         std::vector<std::vector<double>> &acts,
+                         Loss loss) const;
+
+    std::vector<int> sizes_;
+    std::vector<Layer> layers_;
+    double lr_;
+    std::uint64_t adamStep_ = 0;
+};
+
+} // namespace ursa::ml
+
+#endif // URSA_ML_MLP_H

@@ -1,0 +1,96 @@
+#include "ml/rl.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ursa::ml
+{
+
+namespace
+{
+
+std::vector<int>
+layerSizes(const QAgentConfig &cfg)
+{
+    std::vector<int> sizes;
+    sizes.push_back(cfg.stateDim);
+    for (int h : cfg.hidden)
+        sizes.push_back(h);
+    sizes.push_back(cfg.numActions);
+    return sizes;
+}
+
+} // namespace
+
+QAgent::QAgent(QAgentConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), q_(layerSizes(cfg), seed, cfg.learningRate),
+      target_(layerSizes(cfg), seed, cfg.learningRate), rng_(seed ^ 0xabcd)
+{
+    target_.copyWeightsFrom(q_);
+}
+
+double
+QAgent::epsilon() const
+{
+    const double frac =
+        std::min(1.0, static_cast<double>(actCalls_) /
+                          std::max(1, cfg_.epsilonDecaySteps));
+    return cfg_.epsilonStart +
+           (cfg_.epsilonEnd - cfg_.epsilonStart) * frac;
+}
+
+int
+QAgent::act(const std::vector<double> &state, bool explore)
+{
+    ++actCalls_;
+    if (explore && rng_.uniform() < epsilon())
+        return static_cast<int>(rng_.uniformInt(cfg_.numActions));
+    const std::vector<double> qs = q_.forward(state);
+    return static_cast<int>(
+        std::max_element(qs.begin(), qs.end()) - qs.begin());
+}
+
+void
+QAgent::observe(Transition t)
+{
+    replay_.push_back(std::move(t));
+    while (replay_.size() > cfg_.replayCapacity)
+        replay_.pop_front();
+}
+
+double
+QAgent::trainStep()
+{
+    if (replay_.size() < static_cast<std::size_t>(cfg_.batchSize))
+        return 0.0;
+    ++steps_;
+
+    std::vector<std::vector<double>> xs, ys;
+    xs.reserve(cfg_.batchSize);
+    ys.reserve(cfg_.batchSize);
+    for (int b = 0; b < cfg_.batchSize; ++b) {
+        const Transition &t =
+            replay_[rng_.uniformInt(replay_.size())];
+        // Target: current Q with the taken action replaced by the
+        // bootstrapped return from the target network.
+        std::vector<double> target = q_.forward(t.state);
+        const std::vector<double> nextQ = target_.forward(t.nextState);
+        const double maxNext =
+            *std::max_element(nextQ.begin(), nextQ.end());
+        target[t.action] = t.reward + cfg_.gamma * maxNext;
+        xs.push_back(t.state);
+        ys.push_back(std::move(target));
+    }
+    const double loss = q_.trainBatch(xs, ys, Loss::MeanSquared);
+    if (steps_ % static_cast<std::uint64_t>(cfg_.targetSyncInterval) == 0)
+        target_.copyWeightsFrom(q_);
+    return loss;
+}
+
+std::vector<double>
+QAgent::qValues(const std::vector<double> &state) const
+{
+    return q_.forward(state);
+}
+
+} // namespace ursa::ml

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A compact deep Q-learning agent (MLP Q-network, replay buffer,
+ * target network, epsilon-greedy) over a discrete action set. One such
+ * agent per microservice is the stand-in for Firm's per-service RL
+ * resource controllers (paper Sec. VII-B): Firm's DDPG emits a
+ * continuous scaling action; our agent picks among discretized replica
+ * deltas, which on a replica-count knob is equivalent in effect.
+ */
+
+#ifndef URSA_ML_RL_H
+#define URSA_ML_RL_H
+
+#include "ml/mlp.h"
+#include "stats/rng.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ursa::ml
+{
+
+/** One replay transition. */
+struct Transition
+{
+    std::vector<double> state;
+    int action = 0;
+    double reward = 0.0;
+    std::vector<double> nextState;
+};
+
+/** Q-agent configuration. */
+struct QAgentConfig
+{
+    int stateDim = 3;
+    int numActions = 5;
+    std::vector<int> hidden = {32, 32};
+    double gamma = 0.9;          ///< discount
+    double learningRate = 1e-3;
+    double epsilonStart = 1.0;   ///< initial exploration rate
+    double epsilonEnd = 0.05;
+    int epsilonDecaySteps = 5000;
+    std::size_t replayCapacity = 20000;
+    int batchSize = 32;
+    int targetSyncInterval = 200; ///< hard target-network sync period
+};
+
+/** Deep Q-learning agent with a replay buffer and target network. */
+class QAgent
+{
+  public:
+    QAgent(QAgentConfig cfg, std::uint64_t seed);
+
+    /**
+     * Pick an action for `state`; explores epsilon-greedily when
+     * `explore` is true, else acts greedily.
+     */
+    int act(const std::vector<double> &state, bool explore = true);
+
+    /** Store a transition in the replay buffer. */
+    void observe(Transition t);
+
+    /**
+     * One training step (sampled mini-batch, Q-learning target,
+     * periodic target sync). No-op until the buffer holds a batch.
+     * @return the TD loss of the step (0 when skipped).
+     */
+    double trainStep();
+
+    /** Q-values for a state (diagnostics / tests). */
+    std::vector<double> qValues(const std::vector<double> &state) const;
+
+    /** Current exploration rate. */
+    double epsilon() const;
+
+    /** Training steps taken. */
+    std::uint64_t steps() const { return steps_; }
+
+  private:
+    QAgentConfig cfg_;
+    Mlp q_;
+    Mlp target_;
+    std::deque<Transition> replay_;
+    stats::Rng rng_;
+    std::uint64_t steps_ = 0;
+    std::uint64_t actCalls_ = 0;
+};
+
+} // namespace ursa::ml
+
+#endif // URSA_ML_RL_H

@@ -1,0 +1,245 @@
+#include "sim/cluster.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ursa::sim
+{
+
+Cluster::Cluster(std::uint64_t seed, SimTime metricsWindow)
+    : rng_(seed), metrics_(metricsWindow),
+      sampleInterval_(std::max<SimTime>(metricsWindow / 2, kSec))
+{
+}
+
+ServiceId
+Cluster::addService(const ServiceConfig &cfg)
+{
+    if (finalized_)
+        throw std::logic_error("addService after finalize");
+    if (serviceByName_.count(cfg.name))
+        throw std::invalid_argument("duplicate service name: " + cfg.name);
+    const ServiceId id = static_cast<ServiceId>(services_.size());
+    metrics_.addService(cfg.name);
+    services_.push_back(std::make_unique<Service>(*this, cfg, id));
+    serviceByName_[cfg.name] = id;
+    return id;
+}
+
+ClassId
+Cluster::addClass(const RequestClassSpec &spec)
+{
+    if (finalized_)
+        throw std::logic_error("addClass after finalize");
+    if (classByName_.count(spec.name))
+        throw std::invalid_argument("duplicate class name: " + spec.name);
+    const ClassId id = static_cast<ClassId>(classes_.size());
+    metrics_.addClass(spec.name, spec.sla);
+    classes_.push_back(spec);
+    classByName_[spec.name] = id;
+    return id;
+}
+
+void
+Cluster::finalize()
+{
+    if (finalized_)
+        throw std::logic_error("finalize called twice");
+    // Resolve every CallSpec target to a ServiceId and sanity-check
+    // that class roots exist and have behaviors.
+    resolved_.resize(services_.size());
+    for (ServiceId s = 0; s < numServices(); ++s) {
+        for (const auto &[cls, behavior] : services_[s]->config().behaviors) {
+            std::vector<ServiceId> targets;
+            targets.reserve(behavior.calls.size());
+            for (const CallSpec &call : behavior.calls) {
+                const auto it = serviceByName_.find(call.target);
+                if (it == serviceByName_.end()) {
+                    throw std::invalid_argument(
+                        "unknown call target '" + call.target +
+                        "' from service " + services_[s]->config().name);
+                }
+                if (call.kind == CallKind::MqPublish &&
+                    !services_[it->second]->config().mqConsumer) {
+                    throw std::invalid_argument(
+                        "MqPublish to non-MQ service " + call.target);
+                }
+                targets.push_back(it->second);
+            }
+            resolved_[s][cls] = std::move(targets);
+        }
+    }
+    for (const RequestClassSpec &spec : classes_) {
+        const ServiceId root = serviceId(spec.rootService);
+        if (!services_[root]->config().behaviors.count(
+                classByName_.at(spec.name))) {
+            throw std::invalid_argument(
+                "root service " + spec.rootService +
+                " has no behavior for class " + spec.name);
+        }
+    }
+    finalized_ = true;
+}
+
+Service &
+Cluster::service(const std::string &name)
+{
+    return *services_.at(serviceId(name));
+}
+
+ServiceId
+Cluster::serviceId(const std::string &name) const
+{
+    const auto it = serviceByName_.find(name);
+    if (it == serviceByName_.end())
+        throw std::invalid_argument("unknown service: " + name);
+    return it->second;
+}
+
+const RequestClassSpec &
+Cluster::classSpec(ClassId c) const
+{
+    return classes_.at(c);
+}
+
+ClassId
+Cluster::classId(const std::string &name) const
+{
+    const auto it = classByName_.find(name);
+    if (it == classByName_.end())
+        throw std::invalid_argument("unknown class: " + name);
+    return it->second;
+}
+
+const std::vector<ServiceId> &
+Cluster::resolvedTargets(ServiceId s, ClassId c) const
+{
+    return resolved_.at(s).at(c);
+}
+
+RequestPtr
+Cluster::submit(ClassId c)
+{
+    if (!finalized_)
+        throw std::logic_error("submit before finalize");
+    const RequestClassSpec &spec = classes_.at(c);
+    auto req = std::make_shared<Request>();
+    req->id = nextRequestId_++;
+    req->classId = c;
+    req->priority = spec.priority;
+    req->submitTime = events_.now();
+
+    const ServiceId root = serviceId(spec.rootService);
+    invoke(root, req, [this, req] {
+        req->syncDone = true;
+        req->syncDoneTime = events_.now();
+        if (req->onSyncDone)
+            req->onSyncDone(*req);
+        const RequestClassSpec &s = classes_.at(req->classId);
+        if (!s.asyncCompletion) {
+            metrics_.recordEndToEnd(req->classId, events_.now(),
+                                    req->syncDoneTime - req->submitTime);
+        }
+        maybeFinishRequest(req);
+    });
+    return req;
+}
+
+void
+Cluster::invoke(ServiceId target, const RequestPtr &req,
+                std::function<void()> onSyncDone)
+{
+    Service &svc = *services_.at(target);
+    const auto bit = svc.config().behaviors.find(req->classId);
+    if (bit == svc.config().behaviors.end()) {
+        throw std::logic_error("service " + svc.config().name +
+                               " has no behavior for class " +
+                               classes_.at(req->classId).name);
+    }
+    auto inv = std::make_shared<Invocation>();
+    inv->req = req;
+    inv->serviceId = target;
+    inv->behavior = &bit->second;
+    inv->targets = &resolved_.at(target).at(req->classId);
+    inv->arrival = events_.now();
+    inv->onSyncDone = std::move(onSyncDone);
+    metrics_.recordArrival(target, req->classId, events_.now());
+    svc.dispatch(std::move(inv));
+}
+
+void
+Cluster::publishTo(ServiceId target, const RequestPtr &req)
+{
+    Service &svc = *services_.at(target);
+    const auto bit = svc.config().behaviors.find(req->classId);
+    if (bit == svc.config().behaviors.end()) {
+        throw std::logic_error("MQ service " + svc.config().name +
+                               " has no behavior for class " +
+                               classes_.at(req->classId).name);
+    }
+    auto inv = std::make_shared<Invocation>();
+    inv->req = req;
+    inv->serviceId = target;
+    inv->behavior = &bit->second;
+    inv->targets = &resolved_.at(target).at(req->classId);
+    inv->arrival = events_.now(); // queue wait counts toward the tier
+    inv->onSyncDone = [this, req] { asyncBranchDone(req); };
+    metrics_.recordArrival(target, req->classId, events_.now());
+    svc.publish(std::move(inv));
+}
+
+void
+Cluster::asyncBranchDone(const RequestPtr &req)
+{
+    assert(req->outstandingAsync > 0);
+    req->outstandingAsync -= 1;
+    maybeFinishRequest(req);
+}
+
+void
+Cluster::maybeFinishRequest(const RequestPtr &req)
+{
+    if (!req->fullyDone() || req->allDoneTime >= 0)
+        return;
+    req->allDoneTime = events_.now();
+    const RequestClassSpec &spec = classes_.at(req->classId);
+    if (spec.asyncCompletion) {
+        metrics_.recordEndToEnd(req->classId, events_.now(),
+                                req->allDoneTime - req->submitTime);
+    }
+    if (req->onFullyDone)
+        req->onFullyDone(*req);
+}
+
+void
+Cluster::run(SimTime until)
+{
+    if (!finalized_)
+        throw std::logic_error("run before finalize");
+    if (!samplerArmed_) {
+        samplerArmed_ = true;
+        samplerTick();
+    }
+    events_.runUntil(until);
+}
+
+void
+Cluster::samplerTick()
+{
+    for (ServiceId s = 0; s < numServices(); ++s) {
+        metrics_.recordBusySample(s, events_.now(),
+                                  services_[s]->cumBusyCoreUs());
+    }
+    events_.scheduleIn(sampleInterval_, [this] { samplerTick(); });
+}
+
+double
+Cluster::totalCpuAllocation() const
+{
+    double total = 0.0;
+    for (const auto &s : services_)
+        total += s->cpuAllocation();
+    return total;
+}
+
+} // namespace ursa::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cluster — the top-level simulator object: owns the event queue, the
+ * RNG, the metrics registry (tracing substrate), all services and the
+ * request-class table; routes invocations and completes requests.
+ *
+ * This is the stand-in for the paper's 8-machine Kubernetes cluster;
+ * resource managers act on it exclusively through Service::setReplicas
+ * (the paper's replica-count scaling) and read it through
+ * MetricsRegistry (the paper's Prometheus).
+ */
+
+#ifndef URSA_SIM_CLUSTER_H
+#define URSA_SIM_CLUSTER_H
+
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/rng.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ursa::sim
+{
+
+/** The simulated cluster. */
+class Cluster
+{
+  public:
+    /**
+     * @param seed Seed for every stochastic draw in the simulation.
+     * @param metricsWindow Metrics aggregation window (default 1 min,
+     *        the paper's sampling frequency).
+     */
+    explicit Cluster(std::uint64_t seed, SimTime metricsWindow = kMin);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    // --- construction ----------------------------------------------
+
+    /** Add a service; returns its id. Call before finalize(). */
+    ServiceId addService(const ServiceConfig &cfg);
+
+    /** Add a request class; returns its id. Call before finalize(). */
+    ClassId addClass(const RequestClassSpec &spec);
+
+    /**
+     * Resolve call targets and arm the metrics sampler. Must be called
+     * once, after all addService/addClass and before any submit().
+     */
+    void finalize();
+
+    // --- lookup -----------------------------------------------------
+
+    Service &service(ServiceId id) { return *services_.at(id); }
+    const Service &service(ServiceId id) const { return *services_.at(id); }
+    Service &service(const std::string &name);
+    ServiceId serviceId(const std::string &name) const;
+    int numServices() const { return static_cast<int>(services_.size()); }
+
+    const RequestClassSpec &classSpec(ClassId c) const;
+    ClassId classId(const std::string &name) const;
+    int numClasses() const { return static_cast<int>(classes_.size()); }
+
+    /** Resolved downstream targets for (service, class). */
+    const std::vector<ServiceId> &resolvedTargets(ServiceId s,
+                                                  ClassId c) const;
+
+    // --- operation ---------------------------------------------------
+
+    /**
+     * Submit one request of class `c` at the current time. The request
+     * completes through the class's root service; end-to-end latency is
+     * recorded automatically per the class's completion mode.
+     */
+    RequestPtr submit(ClassId c);
+
+    /** Run the simulation until the given absolute time. */
+    void run(SimTime until);
+
+    // --- internal routing (used by Replica) ---------------------------
+
+    /** Invoke `target` for `req`; `onSyncDone` resumes the caller. */
+    void invoke(ServiceId target, const RequestPtr &req,
+                std::function<void()> onSyncDone);
+
+    /** Publish `req` onto `target`'s message queue (async branch). */
+    void publishTo(ServiceId target, const RequestPtr &req);
+
+    /** An async branch of `req` finished. */
+    void asyncBranchDone(const RequestPtr &req);
+
+    // --- infrastructure ------------------------------------------------
+
+    EventQueue &events() { return events_; }
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+    stats::Rng &rng() { return rng_; }
+
+    /** Total CPU cores currently allocated across all services. */
+    double totalCpuAllocation() const;
+
+  private:
+    void samplerTick();
+    void maybeFinishRequest(const RequestPtr &req);
+
+    EventQueue events_;
+    stats::Rng rng_;
+    MetricsRegistry metrics_;
+    std::vector<std::unique_ptr<Service>> services_;
+    std::map<std::string, ServiceId> serviceByName_;
+    std::vector<RequestClassSpec> classes_;
+    std::map<std::string, ClassId> classByName_;
+    /// resolved call targets: [service][class] -> target ids
+    std::vector<std::map<ClassId, std::vector<ServiceId>>> resolved_;
+    bool finalized_ = false;
+    bool samplerArmed_ = false;
+    SimTime sampleInterval_;
+    std::uint64_t nextRequestId_ = 1;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_CLUSTER_H

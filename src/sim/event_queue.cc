@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ursa::sim
+{
+
+void
+EventQueue::schedule(SimTime at, Callback fn)
+{
+    if (at < now_)
+        throw std::logic_error("scheduling an event in the past");
+    heap_.push({at, seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleIn(SimTime delay, Callback fn)
+{
+    if (delay < 0)
+        throw std::logic_error("negative event delay");
+    schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        return false;
+    // std::priority_queue::top() is const; the Entry must be copied or
+    // moved out before pop. Move via const_cast is safe here because
+    // the entry is popped immediately.
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    ++processed_;
+    e.fn();
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime until)
+{
+    while (!heap_.empty() && heap_.top().at <= until)
+        runNext();
+    if (until > now_)
+        now_ = until;
+}
+
+} // namespace ursa::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The discrete-event kernel: a time-ordered queue of callbacks with a
+ * monotone clock. Ties are broken by insertion order so the simulation
+ * is fully deterministic.
+ */
+
+#ifndef URSA_SIM_EVENT_QUEUE_H
+#define URSA_SIM_EVENT_QUEUE_H
+
+#include "sim/time.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ursa::sim
+{
+
+/** Deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule `fn` to run at absolute time `at`; `at` must not be in
+     * the past. Events at equal times fire in scheduling order.
+     */
+    void schedule(SimTime at, Callback fn);
+
+    /** Schedule `fn` to run `delay` microseconds from now (>= 0). */
+    void scheduleIn(SimTime delay, Callback fn);
+
+    /**
+     * Pop and run the next event, advancing the clock to its time.
+     * @return false when the queue is empty.
+     */
+    bool runNext();
+
+    /**
+     * Run every event with time <= `until`, then set the clock to
+     * `until`. New events scheduled while running are honored.
+     */
+    void runUntil(SimTime until);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        SimTime at;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.at != b.at)
+                return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_EVENT_QUEUE_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * An Invocation is one service's handling of one request: the unit of
+ * work that flows through replicas. It carries the timing fields needed
+ * to reproduce the paper's per-tier response-time measurement
+ * (S0 - R0: queue wait + compute, excluding downstream waits).
+ */
+
+#ifndef URSA_SIM_INVOCATION_H
+#define URSA_SIM_INVOCATION_H
+
+#include "sim/time.h"
+#include "sim/types.h"
+
+#include <functional>
+#include <memory>
+
+namespace ursa::sim
+{
+
+class Replica;
+
+/** One service's handling of one request. */
+struct Invocation : std::enable_shared_from_this<Invocation>
+{
+    RequestPtr req;
+    ServiceId serviceId = -1;
+    const ClassBehavior *behavior = nullptr;
+    /// Resolved downstream service ids, parallel to behavior->calls.
+    const std::vector<ServiceId> *targets = nullptr;
+
+    /// RPC: when the request was dispatched to the replica.
+    /// MQ: when the message was published (queue wait counts).
+    SimTime arrival = 0;
+    /// Accumulated time spent blocked on nested downstream responses.
+    SimTime blockedUs = 0;
+    /// Next downstream call to issue.
+    std::size_t callIdx = 0;
+    /// Event-driven tiers record latency at the first daemon send.
+    bool eventLatencyRecorded = false;
+    /// True once the invocation was handed from its worker thread to a
+    /// daemon thread (event-driven dispatch, paper Fig. 1b).
+    bool onDaemon = false;
+    /// Replica executing this invocation (set when a worker picks it up).
+    Replica *replica = nullptr;
+
+    /// Continuation: resume the parent (nested RPC) or complete the
+    /// async branch (MQ / event-driven) or answer the client (root).
+    std::function<void()> onSyncDone;
+};
+
+using InvocationPtr = std::shared_ptr<Invocation>;
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_INVOCATION_H

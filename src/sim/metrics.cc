@@ -1,0 +1,245 @@
+#include "sim/metrics.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ursa::sim
+{
+
+MetricsRegistry::MetricsRegistry(SimTime window) : window_(window)
+{
+    assert(window_ > 0);
+}
+
+void
+MetricsRegistry::addService(const std::string &name)
+{
+    PerService s;
+    s.name = name;
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+        s.tierLat.emplace_back(window_);
+        s.arrivals.emplace_back(window_);
+    }
+    services_.push_back(std::move(s));
+}
+
+void
+MetricsRegistry::addClass(const std::string &name, const SlaSpec &sla)
+{
+    classes_.push_back(
+        {name, sla, stats::WindowAggregator(window_), 0, 0, {}});
+    growClassVectors();
+}
+
+void
+MetricsRegistry::growClassVectors()
+{
+    for (PerService &s : services_) {
+        while (s.tierLat.size() < classes_.size()) {
+            s.tierLat.emplace_back(window_);
+            s.arrivals.emplace_back(window_);
+        }
+    }
+}
+
+void
+MetricsRegistry::recordTierLatency(ServiceId s, ClassId c, SimTime at,
+                                   SimTime lat)
+{
+    services_.at(s).tierLat.at(c).add(at, static_cast<double>(lat));
+}
+
+void
+MetricsRegistry::recordEndToEnd(ClassId c, SimTime at, SimTime lat)
+{
+    PerClass &pc = classes_.at(c);
+    pc.e2e.add(at, static_cast<double>(lat));
+    ++pc.completed;
+    const SimTime wstart = (at / window_) * window_;
+    auto &[done, bad] = pc.byWindow[wstart];
+    ++done;
+    if (lat > pc.sla.targetUs) {
+        ++pc.violated;
+        ++bad;
+    }
+}
+
+void
+MetricsRegistry::recordArrival(ServiceId s, ClassId c, SimTime at)
+{
+    services_.at(s).arrivals.at(c).add(at, 1.0);
+}
+
+void
+MetricsRegistry::recordBusySample(ServiceId s, SimTime at,
+                                  double cumBusyCoreUs)
+{
+    services_.at(s).busy.append(at, cumBusyCoreUs);
+}
+
+void
+MetricsRegistry::recordAllocation(ServiceId s, SimTime at, double cores)
+{
+    services_.at(s).allocation.append(at, cores);
+}
+
+void
+MetricsRegistry::recordReplicaCount(ServiceId s, SimTime at, int n)
+{
+    services_.at(s).replicas.append(at, static_cast<double>(n));
+}
+
+const stats::WindowAggregator &
+MetricsRegistry::tierLatency(ServiceId s, ClassId c) const
+{
+    return services_.at(s).tierLat.at(c);
+}
+
+const stats::WindowAggregator &
+MetricsRegistry::endToEnd(ClassId c) const
+{
+    return classes_.at(c).e2e;
+}
+
+const stats::WindowAggregator &
+MetricsRegistry::arrivals(ServiceId s, ClassId c) const
+{
+    return services_.at(s).arrivals.at(c);
+}
+
+double
+MetricsRegistry::arrivalRate(ServiceId s, ClassId c, SimTime from,
+                             SimTime to) const
+{
+    if (to <= from)
+        return 0.0;
+    std::uint64_t count = 0;
+    for (const auto &w : services_.at(s).arrivals.at(c).windows()) {
+        if (w.start + window_ <= from || w.start >= to)
+            continue;
+        count += w.stats.count();
+    }
+    return static_cast<double>(count) / toSec(to - from);
+}
+
+double
+MetricsRegistry::cpuUtilization(ServiceId s, SimTime from, SimTime to) const
+{
+    if (to <= from)
+        return 0.0;
+    const PerService &ps = services_.at(s);
+    // Busy samples are cumulative core-us; take the difference of the
+    // nearest samples inside the range.
+    const auto pts = ps.busy.range(from, to + 1);
+    if (pts.size() < 2)
+        return 0.0;
+    const double busy = pts.back().value - pts.front().value;
+    const double span =
+        static_cast<double>(pts.back().time - pts.front().time);
+    const double alloc = ps.allocation.timeAverage(
+        pts.front().time, pts.back().time);
+    if (span <= 0.0 || alloc <= 0.0)
+        return 0.0;
+    return busy / (alloc * span);
+}
+
+double
+MetricsRegistry::meanAllocation(ServiceId s, SimTime from, SimTime to) const
+{
+    return services_.at(s).allocation.timeAverage(from, to);
+}
+
+const stats::TimeSeries &
+MetricsRegistry::allocationSeries(ServiceId s) const
+{
+    return services_.at(s).allocation;
+}
+
+const stats::TimeSeries &
+MetricsRegistry::replicaSeries(ServiceId s) const
+{
+    return services_.at(s).replicas;
+}
+
+namespace
+{
+
+/** Count (windows, violating windows) of one class over [from, to). */
+std::pair<std::uint64_t, std::uint64_t>
+windowViolations(const stats::WindowAggregator &agg, const SlaSpec &sla,
+                 SimTime window, SimTime from, SimTime to)
+{
+    std::uint64_t total = 0, bad = 0;
+    for (const auto &w : agg.windows()) {
+        if (w.start + window <= from || w.start >= to)
+            continue;
+        if (w.samples.empty())
+            continue;
+        ++total;
+        if (w.samples.percentile(sla.percentile) >
+            static_cast<double>(sla.targetUs))
+            ++bad;
+    }
+    return {total, bad};
+}
+
+} // namespace
+
+double
+MetricsRegistry::slaViolationRate(ClassId c, SimTime from, SimTime to) const
+{
+    const PerClass &pc = classes_.at(c);
+    const auto [total, bad] =
+        windowViolations(pc.e2e, pc.sla, window_, from, to);
+    return total ? static_cast<double>(bad) / static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+MetricsRegistry::overallSlaViolationRate(SimTime from, SimTime to) const
+{
+    std::uint64_t total = 0, bad = 0;
+    for (const PerClass &pc : classes_) {
+        const auto [t, b] =
+            windowViolations(pc.e2e, pc.sla, window_, from, to);
+        total += t;
+        bad += b;
+    }
+    return total ? static_cast<double>(bad) / static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+MetricsRegistry::requestViolationRate(ClassId c, SimTime from,
+                                      SimTime to) const
+{
+    const PerClass &pc = classes_.at(c);
+    std::uint64_t done = 0, bad = 0;
+    for (const auto &[wstart, counts] : pc.byWindow) {
+        if (wstart + window_ <= from || wstart >= to)
+            continue;
+        done += counts.first;
+        bad += counts.second;
+    }
+    return done ? static_cast<double>(bad) / static_cast<double>(done) : 0.0;
+}
+
+const std::string &
+MetricsRegistry::serviceName(ServiceId s) const
+{
+    return services_.at(s).name;
+}
+
+const std::string &
+MetricsRegistry::className(ClassId c) const
+{
+    return classes_.at(c).name;
+}
+
+const SlaSpec &
+MetricsRegistry::sla(ClassId c) const
+{
+    return classes_.at(c).sla;
+}
+
+} // namespace ursa::sim

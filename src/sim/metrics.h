@@ -1,0 +1,153 @@
+/**
+ * @file
+ * MetricsRegistry — the tracing substrate (the paper's Prometheus).
+ *
+ * Collects, per window: per-service/per-class response times (the S0-R0
+ * tier latency of Sec. III), per-class end-to-end latencies with SLA
+ * violation tracking, per-service/per-class arrival counts, and
+ * per-service CPU allocation / busy integrals and replica counts.
+ */
+
+#ifndef URSA_SIM_METRICS_H
+#define URSA_SIM_METRICS_H
+
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/timeseries.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ursa::sim
+{
+
+/** Central, windowed metrics store for one cluster. */
+class MetricsRegistry
+{
+  public:
+    /**
+     * @param window Aggregation window width (default: one simulated
+     *        minute, the paper's sampling frequency).
+     */
+    explicit MetricsRegistry(SimTime window = kMin);
+
+    /** Window width. */
+    SimTime window() const { return window_; }
+
+    /** Register a service; must be called in ServiceId order. */
+    void addService(const std::string &name);
+
+    /** Register a class; must be called in ClassId order. */
+    void addClass(const std::string &name, const SlaSpec &sla);
+
+    // --- recording -------------------------------------------------
+
+    /** Per-tier response time (queue wait + compute, excl. downstream). */
+    void recordTierLatency(ServiceId s, ClassId c, SimTime at, SimTime lat);
+
+    /** End-to-end latency of a finished request of class `c`. */
+    void recordEndToEnd(ClassId c, SimTime at, SimTime lat);
+
+    /** One request of class `c` arrived at service `s`. */
+    void recordArrival(ServiceId s, ClassId c, SimTime at);
+
+    /** Cumulative busy core-us of service `s`, sampled at `at`. */
+    void recordBusySample(ServiceId s, SimTime at, double cumBusyCoreUs);
+
+    /** Total allocated cores of service `s` changed to `cores`. */
+    void recordAllocation(ServiceId s, SimTime at, double cores);
+
+    /** Active replica count of service `s` changed to `n`. */
+    void recordReplicaCount(ServiceId s, SimTime at, int n);
+
+    // --- queries ---------------------------------------------------
+
+    /** Tier-latency windows for (service, class). */
+    const stats::WindowAggregator &tierLatency(ServiceId s, ClassId c) const;
+
+    /** End-to-end latency windows for a class. */
+    const stats::WindowAggregator &endToEnd(ClassId c) const;
+
+    /** Arrival-count windows for (service, class). */
+    const stats::WindowAggregator &arrivals(ServiceId s, ClassId c) const;
+
+    /** Arrivals per second of class `c` at service `s` over [from,to). */
+    double arrivalRate(ServiceId s, ClassId c, SimTime from,
+                       SimTime to) const;
+
+    /** Mean CPU utilization of service `s` over [from, to), in [0,1]. */
+    double cpuUtilization(ServiceId s, SimTime from, SimTime to) const;
+
+    /** Time-averaged allocated cores of `s` over [from, to). */
+    double meanAllocation(ServiceId s, SimTime from, SimTime to) const;
+
+    /** Allocation time series (for Fig.-13-style plots). */
+    const stats::TimeSeries &allocationSeries(ServiceId s) const;
+
+    /** Replica-count time series. */
+    const stats::TimeSeries &replicaSeries(ServiceId s) const;
+
+    /**
+     * SLA violation rate of class `c` over [from, to): the fraction of
+     * sampling windows whose latency at the class's SLA percentile
+     * exceeds the SLA target. This is the paper's metric — it treats
+     * p50 and p99 SLAs uniformly (Tables II-IV, Sec. VII-E).
+     */
+    double slaViolationRate(ClassId c, SimTime from, SimTime to) const;
+
+    /**
+     * Aggregate window-based SLA violation rate over all classes in
+     * [from, to): violating (class, window) pairs / all pairs.
+     */
+    double overallSlaViolationRate(SimTime from, SimTime to) const;
+
+    /**
+     * Fraction of individual class-`c` requests in [from, to) whose
+     * latency exceeded the SLA target (secondary diagnostic; only
+     * meaningful for high-percentile SLAs).
+     */
+    double requestViolationRate(ClassId c, SimTime from, SimTime to) const;
+
+    /** Number of registered services / classes. */
+    int numServices() const { return static_cast<int>(services_.size()); }
+    int numClasses() const { return static_cast<int>(classes_.size()); }
+
+    /** Names (for printing). */
+    const std::string &serviceName(ServiceId s) const;
+    const std::string &className(ClassId c) const;
+
+    /** SLA of class `c`. */
+    const SlaSpec &sla(ClassId c) const;
+
+  private:
+    struct PerClass
+    {
+        std::string name;
+        SlaSpec sla;
+        stats::WindowAggregator e2e;
+        std::uint64_t completed = 0;
+        std::uint64_t violated = 0;
+        /// per-window (start -> [completed, violated])
+        std::map<SimTime, std::pair<std::uint64_t, std::uint64_t>> byWindow;
+    };
+    struct PerService
+    {
+        std::string name;
+        std::vector<stats::WindowAggregator> tierLat; ///< per class
+        std::vector<stats::WindowAggregator> arrivals; ///< per class
+        stats::TimeSeries busy;       ///< cumulative busy core-us samples
+        stats::TimeSeries allocation; ///< allocated cores (step series)
+        stats::TimeSeries replicas;
+    };
+
+    void growClassVectors();
+
+    SimTime window_;
+    std::vector<PerService> services_;
+    std::vector<PerClass> classes_;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_METRICS_H

@@ -1,0 +1,370 @@
+#include "sim/replica.h"
+
+#include "sim/cluster.h"
+#include "sim/service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ursa::sim
+{
+
+namespace
+{
+
+/** Work below this many core-us counts as finished (float tolerance). */
+constexpr double kWorkEps = 1e-6;
+
+} // namespace
+
+Replica::Replica(Service &svc, int index)
+    : svc_(svc), index_(index), threads_(svc.config().threads),
+      daemonThreads_(svc.config().daemonThreads),
+      cpuLimit_(svc.config().cpuPerReplica),
+      lastSync_(svc.cluster().events().now())
+{
+    assert(threads_ > 0);
+    assert(cpuLimit_ > 0.0);
+}
+
+bool
+Replica::hasFreeWorker() const
+{
+    return !draining_ && busyWorkers_ < threads_;
+}
+
+void
+Replica::submit(InvocationPtr inv)
+{
+    if (busyWorkers_ < threads_) {
+        ++busyWorkers_;
+        begin(std::move(inv));
+    } else {
+        pending_.push_back(std::move(inv));
+    }
+}
+
+void
+Replica::beginMq(InvocationPtr inv)
+{
+    assert(busyWorkers_ < threads_);
+    ++busyWorkers_;
+    begin(std::move(inv));
+}
+
+void
+Replica::begin(InvocationPtr inv)
+{
+    inv->replica = this;
+    auto &rng = svc_.cluster().rng();
+    const double work =
+        rng.lognormal(inv->behavior->computeMeanUs, inv->behavior->computeCv);
+    cpuSubmit(work, [this, inv] { advance(inv); });
+}
+
+void
+Replica::advance(const InvocationPtr &inv)
+{
+    Cluster &cluster = svc_.cluster();
+    if (inv->callIdx >= inv->behavior->calls.size()) {
+        // Post-compute phase, then finish.
+        if (inv->behavior->postComputeMeanUs > 0.0) {
+            const double work = cluster.rng().lognormal(
+                inv->behavior->postComputeMeanUs,
+                inv->behavior->postComputeCv);
+            // Consume the phase so re-entry goes straight to finish.
+            auto done = [this, inv] { finish(inv); };
+            cpuSubmit(work, std::move(done));
+            // Mark post-compute as consumed by bumping past the calls.
+            const_cast<InvocationPtr &>(inv)->callIdx =
+                inv->behavior->calls.size() + 1;
+            return;
+        }
+        finish(inv);
+        return;
+    }
+    if (inv->callIdx > inv->behavior->calls.size()) {
+        finish(inv);
+        return;
+    }
+
+    // Scatter-gather fan-out: issue every call at once and resume when
+    // the last synchronous branch responds (stage latency = max, not
+    // sum). Event-driven calls are joined like nested ones here; MQ
+    // publishes fire and forget as usual.
+    if (inv->behavior->parallelCalls && inv->callIdx == 0) {
+        Cluster &c = svc_.cluster();
+        const SimTime t0 = c.events().now();
+        const auto &calls = inv->behavior->calls;
+        inv->callIdx = calls.size();
+        auto pendingJoins = std::make_shared<int>(0);
+        for (std::size_t k = 0; k < calls.size(); ++k) {
+            const ServiceId tgt = (*inv->targets)[k];
+            if (calls[k].kind == CallKind::MqPublish) {
+                inv->req->outstandingAsync += 1;
+                c.publishTo(tgt, inv->req);
+                continue;
+            }
+            ++*pendingJoins;
+            c.invoke(tgt, inv->req, [this, inv, t0, pendingJoins] {
+                if (--*pendingJoins == 0) {
+                    inv->blockedUs +=
+                        svc_.cluster().events().now() - t0;
+                    advance(inv);
+                }
+            });
+        }
+        if (*pendingJoins == 0)
+            advance(inv); // only fire-and-forget calls
+        return;
+    }
+
+    const CallSpec &call = inv->behavior->calls[inv->callIdx];
+    const ServiceId target = (*inv->targets)[inv->callIdx];
+    switch (call.kind) {
+      case CallKind::NestedRpc: {
+        const SimTime t0 = cluster.events().now();
+        // The worker stays held while we wait for the downstream
+        // response — this is what creates backpressure.
+        cluster.invoke(target, inv->req, [this, inv, t0] {
+            inv->blockedUs += svc_.cluster().events().now() - t0;
+            ++inv->callIdx;
+            advance(inv);
+        });
+        return;
+      }
+      case CallKind::EventRpc: {
+        // Event-driven RPC (paper Fig. 1b): the handler hands the
+        // request to a daemon thread and frees its worker, but the
+        // response is still gated on the downstream reply — "not
+        // fully asynchronous". From a daemon context a further event
+        // dispatch degenerates to a nested call (the daemon blocks).
+        if (inv->onDaemon) {
+            const SimTime t0 = cluster.events().now();
+            cluster.invoke(target, inv->req, [this, inv, t0] {
+                inv->blockedUs += svc_.cluster().events().now() - t0;
+                ++inv->callIdx;
+                advance(inv);
+            });
+            return;
+        }
+        inv->onDaemon = true;
+        daemonSubmit([this, inv, target] {
+            // S0 of an event-driven tier: the daemon issues the
+            // downstream call now; record the tier latency here
+            // (queue wait + compute + daemon-dispatch wait).
+            Cluster &c = svc_.cluster();
+            if (!inv->eventLatencyRecorded) {
+                inv->eventLatencyRecorded = true;
+                c.metrics().recordTierLatency(
+                    inv->serviceId, inv->req->classId, c.events().now(),
+                    c.events().now() - inv->arrival);
+            }
+            const SimTime t0 = c.events().now();
+            c.invoke(target, inv->req, [this, inv, t0] {
+                inv->blockedUs += svc_.cluster().events().now() - t0;
+                ++inv->callIdx;
+                advance(inv);
+            });
+        });
+        // The worker is free while the daemon waits.
+        releaseWorker();
+        return;
+      }
+      case CallKind::MqPublish: {
+        inv->req->outstandingAsync += 1;
+        cluster.publishTo(target, inv->req);
+        ++inv->callIdx;
+        advance(inv);
+        return;
+      }
+    }
+}
+
+void
+Replica::finish(const InvocationPtr &inv)
+{
+    Cluster &cluster = svc_.cluster();
+    const SimTime now = cluster.events().now();
+
+    // Per-tier response time (paper Sec. III): service latency
+    // excluding downstream waits. Event-driven tiers were recorded at
+    // the daemon send instead.
+    bool hasEventCall = false;
+    for (const CallSpec &c : inv->behavior->calls)
+        if (c.kind == CallKind::EventRpc)
+            hasEventCall = true;
+    if (!hasEventCall) {
+        cluster.metrics().recordTierLatency(inv->serviceId,
+                                            inv->req->classId, now,
+                                            now - inv->arrival -
+                                                inv->blockedUs);
+    }
+
+    auto cont = std::move(inv->onSyncDone);
+    if (inv->onDaemon)
+        daemonRelease();
+    else
+        releaseWorker();
+    if (cont)
+        cont();
+}
+
+void
+Replica::releaseWorker()
+{
+    if (!pending_.empty()) {
+        InvocationPtr next = std::move(pending_.front());
+        pending_.pop_front();
+        begin(std::move(next));
+        return;
+    }
+    // Worker idles; offer it to the service's message queue.
+    if (!draining_ && svc_.config().mqConsumer) {
+        --busyWorkers_;
+        if (svc_.offerMqWork(*this))
+            return; // offerMqWork re-busied the worker via beginMq
+        return;
+    }
+    --busyWorkers_;
+    if (draining_ && drained())
+        svc_.notifyDrained(*this);
+}
+
+void
+Replica::daemonSubmit(std::function<void()> task)
+{
+    if (busyDaemons_ < daemonThreads_) {
+        ++busyDaemons_;
+        task();
+    } else {
+        daemonPending_.push_back(std::move(task));
+    }
+}
+
+void
+Replica::daemonRelease()
+{
+    if (!daemonPending_.empty()) {
+        auto task = std::move(daemonPending_.front());
+        daemonPending_.pop_front();
+        task();
+        return;
+    }
+    --busyDaemons_;
+    if (draining_ && drained())
+        svc_.notifyDrained(*this);
+}
+
+void
+Replica::setCpuLimit(double cores)
+{
+    assert(cores > 0.0);
+    cpuSync();
+    cpuLimit_ = cores;
+    cpuReschedule();
+}
+
+void
+Replica::setCpuFactor(double factor)
+{
+    assert(factor > 0.0 && factor <= 1.0);
+    cpuSync();
+    cpuFactor_ = factor;
+    cpuReschedule();
+}
+
+double
+Replica::busyCoreUs()
+{
+    cpuSync();
+    cpuReschedule();
+    return busyIntegral_;
+}
+
+void
+Replica::startDrain()
+{
+    draining_ = true;
+    if (drained())
+        svc_.notifyDrained(*this);
+}
+
+bool
+Replica::drained() const
+{
+    return draining_ && busyWorkers_ == 0 && busyDaemons_ == 0 &&
+           pending_.empty() && daemonPending_.empty() && jobs_.empty();
+}
+
+// --- processor-sharing CPU engine -----------------------------------
+
+void
+Replica::cpuSubmit(double workCoreUs, std::function<void()> done)
+{
+    cpuSync();
+    jobs_.push_back({std::max(workCoreUs, kWorkEps), std::move(done)});
+    cpuReschedule();
+}
+
+void
+Replica::cpuSync()
+{
+    const SimTime now = svc_.cluster().events().now();
+    const SimTime dt = now - lastSync_;
+    lastSync_ = now;
+    if (dt <= 0 || jobs_.empty())
+        return;
+    const double n = static_cast<double>(jobs_.size());
+    const double rate = std::min(1.0, effectiveLimit() / n);
+    const double progress = rate * static_cast<double>(dt);
+    for (CpuJob &j : jobs_)
+        j.remaining = std::max(0.0, j.remaining - progress);
+    busyIntegral_ +=
+        std::min(n, effectiveLimit()) * static_cast<double>(dt);
+}
+
+void
+Replica::cpuReschedule()
+{
+    ++cpuGen_;
+    if (jobs_.empty())
+        return;
+    const double n = static_cast<double>(jobs_.size());
+    const double rate = std::min(1.0, effectiveLimit() / n);
+    double minRemaining = jobs_.front().remaining;
+    for (const CpuJob &j : jobs_)
+        minRemaining = std::min(minRemaining, j.remaining);
+    const double delay = minRemaining / rate;
+    const SimTime when = std::max<SimTime>(
+        static_cast<SimTime>(std::ceil(delay)), minRemaining > kWorkEps ? 1 : 0);
+    const std::uint64_t gen = cpuGen_;
+    svc_.cluster().events().scheduleIn(when,
+                                       [this, gen] { onCpuEvent(gen); });
+}
+
+void
+Replica::onCpuEvent(std::uint64_t gen)
+{
+    if (gen != cpuGen_)
+        return; // superseded by a newer schedule
+    cpuSync();
+    // Collect finished jobs first: their callbacks may submit new work.
+    std::vector<std::function<void()>> finished;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        if (it->remaining <= kWorkEps) {
+            finished.push_back(std::move(it->done));
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    cpuReschedule();
+    for (auto &fn : finished)
+        fn();
+    if (draining_ && drained())
+        svc_.notifyDrained(*this);
+}
+
+} // namespace ursa::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A Replica models one container instance of a microservice:
+ *
+ *  - a finite pool of worker threads (requests queue FIFO when all
+ *    workers are busy; a worker making a nested RPC stays held for the
+ *    whole downstream round trip — this is the mechanism behind the
+ *    backpressure effect of paper Sec. III);
+ *  - a finite pool of daemon threads servicing event-driven dispatches
+ *    (paper Fig. 1b);
+ *  - a CPU with a configurable core limit shared by all active compute
+ *    phases under processor sharing (each job progresses at
+ *    min(1, limit/active) cores), with an integral of used core-time
+ *    for utilization accounting.
+ *
+ * With finite worker pools and a closed-loop client, throttling a leaf
+ * tier makes backlog cascade bottom-up: the culprit's parent saturates
+ * first and each ancestor progressively less — reproducing the Fig. 2
+ * attenuation. Message queues bypass worker blocking entirely, so MQ
+ * stages show no backpressure.
+ */
+
+#ifndef URSA_SIM_REPLICA_H
+#define URSA_SIM_REPLICA_H
+
+#include "sim/invocation.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace ursa::sim
+{
+
+class Service;
+
+/** One container instance of a service. */
+class Replica
+{
+  public:
+    /**
+     * @param svc Owning service.
+     * @param index Replica index (for diagnostics).
+     */
+    Replica(Service &svc, int index);
+
+    Replica(const Replica &) = delete;
+    Replica &operator=(const Replica &) = delete;
+
+    /** True when a worker is free and the replica accepts work. */
+    bool hasFreeWorker() const;
+
+    /** Pending RPC queue length (excluding running invocations). */
+    std::size_t queueLength() const { return pending_.size(); }
+
+    /** Number of busy worker threads (running or blocked downstream). */
+    int busyWorkers() const { return busyWorkers_; }
+
+    /** Submit an RPC invocation (from Service dispatch). */
+    void submit(InvocationPtr inv);
+
+    /**
+     * Begin handling an MQ message. Only called by Service when this
+     * replica has a free worker.
+     */
+    void beginMq(InvocationPtr inv);
+
+    /** Set the CPU limit in cores (dynamic; used by the profiler). */
+    void setCpuLimit(double cores);
+
+    /** Nominal CPU limit in cores. */
+    double cpuLimit() const { return cpuLimit_; }
+
+    /**
+     * Throttle factor in (0, 1]: effective limit = limit * factor.
+     * Used by fault injection (paper Fig. 2) and Firm's anomaly
+     * injection during RL training.
+     */
+    void setCpuFactor(double factor);
+
+    /** Cumulative used core-microseconds up to now. */
+    double busyCoreUs();
+
+    /** Stop accepting new work; finish what is queued and running. */
+    void startDrain();
+
+    /** True when draining and fully idle. */
+    bool drained() const;
+
+    /** Whether startDrain was called. */
+    bool draining() const { return draining_; }
+
+  private:
+    void begin(InvocationPtr inv);
+    void advance(const InvocationPtr &inv);
+    void finish(const InvocationPtr &inv);
+    void releaseWorker();
+    void daemonSubmit(std::function<void()> task);
+    void daemonRelease();
+
+    // --- processor-sharing CPU engine ---
+    void cpuSubmit(double workCoreUs, std::function<void()> done);
+    void cpuSync();
+    void cpuReschedule();
+    void onCpuEvent(std::uint64_t gen);
+    double effectiveLimit() const { return cpuLimit_ * cpuFactor_; }
+
+    Service &svc_;
+    int index_;
+    int threads_;
+    int daemonThreads_;
+    double cpuLimit_;
+    double cpuFactor_ = 1.0;
+
+    int busyWorkers_ = 0;
+    int busyDaemons_ = 0;
+    std::deque<InvocationPtr> pending_;
+    std::deque<std::function<void()>> daemonPending_;
+    bool draining_ = false;
+
+    struct CpuJob
+    {
+        double remaining; ///< core-us of work left
+        std::function<void()> done;
+    };
+    std::vector<CpuJob> jobs_;
+    SimTime lastSync_ = 0;
+    double busyIntegral_ = 0.0;
+    std::uint64_t cpuGen_ = 0;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_REPLICA_H

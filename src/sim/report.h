@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment reporting: dump a cluster's collected metrics as CSV for
+ * plotting — per-class latency/violation series, per-service load,
+ * utilization and allocation series, and a one-struct experiment
+ * summary. This is the "export" side of the tracing substrate.
+ */
+
+#ifndef URSA_SIM_REPORT_H
+#define URSA_SIM_REPORT_H
+
+#include "sim/cluster.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace ursa::sim
+{
+
+/** Whole-experiment summary over a time range. */
+struct ExperimentSummary
+{
+    SimTime from = 0;
+    SimTime to = 0;
+    double overallViolationRate = 0.0;
+    double totalCpuCores = 0.0; ///< time-averaged allocation
+    std::uint64_t requestsCompleted = 0;
+
+    struct PerClass
+    {
+        std::string name;
+        double slaPercentile = 0.0;
+        double slaTargetMs = 0.0;
+        double latencyAtSlaPctMs = 0.0;
+        double p50Ms = 0.0;
+        double p99Ms = 0.0;
+        double violationRate = 0.0;
+        std::uint64_t completed = 0;
+    };
+    std::vector<PerClass> classes;
+};
+
+/** Compute the summary of `cluster` over [from, to). */
+ExperimentSummary summarize(const Cluster &cluster, SimTime from,
+                            SimTime to);
+
+/** Print a human-readable summary block. */
+void printSummary(const ExperimentSummary &summary, std::ostream &out);
+
+/**
+ * Per-window class series as CSV:
+ * `minute,class,count,p50_ms,p99_ms,lat_at_sla_ms,violated`.
+ */
+void writeClassSeriesCsv(const Cluster &cluster, SimTime from, SimTime to,
+                         std::ostream &out);
+
+/**
+ * Per-window service series as CSV:
+ * `minute,service,rps,utilization,alloc_cores,replicas`.
+ */
+void writeServiceSeriesCsv(const Cluster &cluster, SimTime from,
+                           SimTime to, std::ostream &out);
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_REPORT_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Simulation time: a 64-bit integer microsecond clock and conversion
+ * helpers. Integer time keeps event ordering exact and experiments
+ * bit-for-bit reproducible.
+ */
+
+#ifndef URSA_SIM_TIME_H
+#define URSA_SIM_TIME_H
+
+#include <cstdint>
+
+namespace ursa::sim
+{
+
+/** Simulated time in microseconds since the start of the run. */
+using SimTime = std::int64_t;
+
+/** One microsecond. */
+constexpr SimTime kUsec = 1;
+/** One millisecond. */
+constexpr SimTime kMsec = 1000 * kUsec;
+/** One second. */
+constexpr SimTime kSec = 1000 * kMsec;
+/** One minute. */
+constexpr SimTime kMin = 60 * kSec;
+/** One hour. */
+constexpr SimTime kHour = 60 * kMin;
+
+/** Convert microseconds to (floating) milliseconds. */
+constexpr double
+toMs(SimTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Convert microseconds to (floating) seconds. */
+constexpr double
+toSec(SimTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert (floating) milliseconds to SimTime, rounding to nearest us. */
+constexpr SimTime
+fromMs(double ms)
+{
+    return static_cast<SimTime>(ms * static_cast<double>(kMsec) + 0.5);
+}
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_TIME_H

@@ -1,0 +1,358 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ursa::solver
+{
+
+namespace
+{
+
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Dense tableau simplex over the standard-form problem
+ *   min c.y  s.t.  A y = b,  y >= 0,  b >= 0.
+ *
+ * Phase 1 minimizes the sum of artificial variables; phase 2 the real
+ * objective. Dantzig pricing is used until an iteration cap, then
+ * Bland's rule takes over to rule out cycling.
+ */
+class Tableau
+{
+  public:
+    Tableau(std::size_t m, std::size_t n)
+        : m_(m), n_(n), a_(m, std::vector<double>(n + 1, 0.0)),
+          basis_(m, SIZE_MAX)
+    {
+    }
+
+    std::vector<std::vector<double>> &rows() { return a_; }
+    std::vector<std::size_t> &basis() { return basis_; }
+
+    /**
+     * Run simplex for objective costs `c` (length n_). Returns false if
+     * unbounded. On return the tableau is optimal for `c`.
+     */
+    bool
+    optimize(const std::vector<double> &c)
+    {
+        // Reduced costs: z_j = c_j - c_B . column_j.
+        const std::size_t dantzigCap = 50 * (m_ + n_) + 1000;
+        std::size_t iter = 0;
+        while (true) {
+            ++iter;
+            const bool useBland = iter > dantzigCap;
+            std::vector<double> cb(m_);
+            for (std::size_t i = 0; i < m_; ++i)
+                cb[i] = c[basis_[i]];
+
+            std::size_t enter = SIZE_MAX;
+            double best = -kEps;
+            for (std::size_t j = 0; j < n_; ++j) {
+                double rc = c[j];
+                for (std::size_t i = 0; i < m_; ++i)
+                    rc -= cb[i] * a_[i][j];
+                if (rc < -kEps) {
+                    if (useBland) {
+                        enter = j;
+                        break;
+                    }
+                    if (rc < best) {
+                        best = rc;
+                        enter = j;
+                    }
+                }
+            }
+            if (enter == SIZE_MAX)
+                return true; // optimal
+
+            // Ratio test.
+            std::size_t leave = SIZE_MAX;
+            double bestRatio = kInf;
+            for (std::size_t i = 0; i < m_; ++i) {
+                if (a_[i][enter] > kEps) {
+                    const double ratio = a_[i][n_] / a_[i][enter];
+                    if (ratio < bestRatio - kEps ||
+                        (ratio < bestRatio + kEps &&
+                         (leave == SIZE_MAX ||
+                          basis_[i] < basis_[leave]))) {
+                        bestRatio = ratio;
+                        leave = i;
+                    }
+                }
+            }
+            if (leave == SIZE_MAX)
+                return false; // unbounded direction
+            pivot(leave, enter);
+        }
+    }
+
+    /** Pivot so that column `col` becomes basic in row `row`. */
+    void
+    pivot(std::size_t row, std::size_t col)
+    {
+        const double piv = a_[row][col];
+        assert(std::fabs(piv) > kEps);
+        for (double &v : a_[row])
+            v /= piv;
+        for (std::size_t i = 0; i < m_; ++i) {
+            if (i == row)
+                continue;
+            const double f = a_[i][col];
+            if (std::fabs(f) < kEps)
+                continue;
+            for (std::size_t j = 0; j <= n_; ++j)
+                a_[i][j] -= f * a_[row][j];
+        }
+        basis_[row] = col;
+    }
+
+    /** Current value of variable `j`. */
+    double
+    value(std::size_t j) const
+    {
+        for (std::size_t i = 0; i < m_; ++i)
+            if (basis_[i] == j)
+                return a_[i][n_];
+        return 0.0;
+    }
+
+    std::size_t m_, n_;
+    std::vector<std::vector<double>> a_;
+    std::vector<std::size_t> basis_;
+};
+
+} // namespace
+
+LpProblem::LpProblem(std::size_t n)
+    : c(n, 0.0), lower(n, 0.0), upper(n, kInf)
+{
+}
+
+void
+LpProblem::setBounds(std::size_t i, double lo, double hi)
+{
+    assert(i < numVars());
+    assert(lo <= hi);
+    lower[i] = lo;
+    upper[i] = hi;
+}
+
+void
+LpProblem::addConstraint(std::vector<double> a, Rel rel, double b)
+{
+    if (a.size() != numVars())
+        throw std::invalid_argument("constraint arity mismatch");
+    rows.push_back({std::move(a), rel, b});
+}
+
+void
+LpProblem::addSparseConstraint(
+    const std::vector<std::pair<std::size_t, double>> &terms, Rel rel,
+    double b)
+{
+    std::vector<double> a(numVars(), 0.0);
+    for (const auto &[idx, coef] : terms) {
+        assert(idx < numVars());
+        a[idx] += coef;
+    }
+    rows.push_back({std::move(a), rel, b});
+}
+
+std::string
+toString(LpStatus status)
+{
+    switch (status) {
+      case LpStatus::Optimal:
+        return "optimal";
+      case LpStatus::Infeasible:
+        return "infeasible";
+      case LpStatus::Unbounded:
+        return "unbounded";
+    }
+    return "?";
+}
+
+LpResult
+solveLp(const LpProblem &p)
+{
+    const std::size_t n = p.numVars();
+
+    // Shift every variable by its lower bound so all shifted variables
+    // are >= 0, and materialize finite upper bounds as extra rows.
+    double objConst = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (!std::isfinite(p.lower[j]))
+            throw std::invalid_argument("lower bounds must be finite");
+        objConst += p.c[j] * p.lower[j];
+    }
+
+    struct StdRow
+    {
+        std::vector<double> a;
+        Rel rel;
+        double b;
+    };
+    std::vector<StdRow> rows;
+    rows.reserve(p.rows.size() + n);
+    for (const Constraint &r : p.rows) {
+        double b = r.b;
+        for (std::size_t j = 0; j < n; ++j)
+            b -= r.a[j] * p.lower[j];
+        rows.push_back({r.a, r.rel, b});
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        if (std::isfinite(p.upper[j])) {
+            std::vector<double> a(n, 0.0);
+            a[j] = 1.0;
+            rows.push_back({std::move(a), Rel::LessEq,
+                            p.upper[j] - p.lower[j]});
+        }
+    }
+
+    const std::size_t m = rows.size();
+    if (m == 0) {
+        // Unconstrained: each variable sits at whichever bound is better.
+        LpResult res;
+        res.x.assign(n, 0.0);
+        res.status = LpStatus::Optimal;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (p.c[j] >= 0.0) {
+                res.x[j] = p.lower[j];
+            } else if (std::isfinite(p.upper[j])) {
+                res.x[j] = p.upper[j];
+            } else {
+                res.status = LpStatus::Unbounded;
+                return res;
+            }
+            res.objective += p.c[j] * res.x[j];
+        }
+        return res;
+    }
+
+    // Count slack/surplus and artificial columns.
+    std::size_t numSlack = 0;
+    for (const StdRow &r : rows)
+        if (r.rel != Rel::Equal)
+            ++numSlack;
+
+    const std::size_t slackBase = n;
+    const std::size_t artBase = n + numSlack;
+    const std::size_t ncols = artBase + m; // worst case: one artificial/row
+
+    Tableau tab(m, ncols);
+    auto &a = tab.rows();
+    std::size_t slackIdx = slackBase;
+    std::size_t artIdx = artBase;
+    std::vector<bool> isArtificial(ncols, false);
+
+    for (std::size_t i = 0; i < m; ++i) {
+        StdRow r = rows[i];
+        if (r.b < 0.0) {
+            for (double &v : r.a)
+                v = -v;
+            r.b = -r.b;
+            if (r.rel == Rel::LessEq)
+                r.rel = Rel::GreaterEq;
+            else if (r.rel == Rel::GreaterEq)
+                r.rel = Rel::LessEq;
+        }
+        for (std::size_t j = 0; j < n; ++j)
+            a[i][j] = r.a[j];
+        a[i][ncols] = r.b;
+
+        if (r.rel == Rel::LessEq) {
+            a[i][slackIdx] = 1.0;
+            tab.basis()[i] = slackIdx++;
+        } else if (r.rel == Rel::GreaterEq) {
+            a[i][slackIdx] = -1.0;
+            ++slackIdx;
+            a[i][artIdx] = 1.0;
+            isArtificial[artIdx] = true;
+            tab.basis()[i] = artIdx++;
+        } else {
+            a[i][artIdx] = 1.0;
+            isArtificial[artIdx] = true;
+            tab.basis()[i] = artIdx++;
+        }
+    }
+
+    LpResult res;
+
+    // Phase 1: minimize the sum of artificials.
+    bool needPhase1 = false;
+    std::vector<double> phase1Cost(ncols, 0.0);
+    for (std::size_t j = 0; j < ncols; ++j) {
+        if (isArtificial[j]) {
+            phase1Cost[j] = 1.0;
+            needPhase1 = true;
+        }
+    }
+    if (needPhase1) {
+        if (!tab.optimize(phase1Cost)) {
+            // Phase-1 objective is bounded below by 0; "unbounded" here
+            // would indicate a solver bug.
+            throw std::logic_error("phase-1 simplex reported unbounded");
+        }
+        double artSum = 0.0;
+        for (std::size_t i = 0; i < m; ++i)
+            if (isArtificial[tab.basis()[i]])
+                artSum += a[i][ncols];
+        if (artSum > 1e-6) {
+            res.status = LpStatus::Infeasible;
+            return res;
+        }
+        // Drive any degenerate artificials out of the basis.
+        for (std::size_t i = 0; i < m; ++i) {
+            if (!isArtificial[tab.basis()[i]])
+                continue;
+            bool pivoted = false;
+            for (std::size_t j = 0; j < artBase; ++j) {
+                if (std::fabs(a[i][j]) > kEps) {
+                    tab.pivot(i, j);
+                    pivoted = true;
+                    break;
+                }
+            }
+            if (!pivoted) {
+                // Redundant row: the artificial stays basic at zero;
+                // forbid it from re-entering by leaving its phase-2
+                // cost at +inf conceptually (we just zero the row).
+                for (std::size_t j = 0; j < ncols; ++j)
+                    if (j != tab.basis()[i])
+                        a[i][j] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: real objective (artificials get a prohibitive cost so
+    // they can never re-enter the basis).
+    std::vector<double> phase2Cost(ncols, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+        phase2Cost[j] = p.c[j];
+    for (std::size_t j = 0; j < ncols; ++j)
+        if (isArtificial[j])
+            phase2Cost[j] = 1e18;
+    if (!tab.optimize(phase2Cost)) {
+        res.status = LpStatus::Unbounded;
+        return res;
+    }
+
+    res.status = LpStatus::Optimal;
+    res.x.assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+        res.x[j] = tab.value(j) + p.lower[j];
+    res.objective = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+        res.objective += p.c[j] * res.x[j];
+    (void)objConst;
+    return res;
+}
+
+} // namespace ursa::solver

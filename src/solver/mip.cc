@@ -1,0 +1,105 @@
+#include "solver/mip.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ursa::solver
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** One branch-and-bound node: variable-bound overrides. */
+struct Node
+{
+    std::vector<double> lower;
+    std::vector<double> upper;
+};
+
+} // namespace
+
+MipResult
+solveMip(const MipProblem &p, const MipOptions &opts)
+{
+    MipResult best;
+    best.status = LpStatus::Infeasible;
+    double incumbent = kInf;
+
+    std::vector<Node> stack;
+    stack.push_back({p.lp.lower, p.lp.upper});
+
+    LpProblem relaxed = p.lp;
+
+    while (!stack.empty()) {
+        if (best.nodesExplored >= opts.maxNodes) {
+            best.hitNodeLimit = true;
+            break;
+        }
+        ++best.nodesExplored;
+
+        Node node = std::move(stack.back());
+        stack.pop_back();
+
+        relaxed.lower = node.lower;
+        relaxed.upper = node.upper;
+        const LpResult rel = solveLp(relaxed);
+        if (rel.status == LpStatus::Infeasible)
+            continue;
+        if (rel.status == LpStatus::Unbounded) {
+            // An unbounded relaxation at the root means the MIP itself
+            // is unbounded (or so close we cannot tell); report it.
+            best.status = LpStatus::Unbounded;
+            return best;
+        }
+        if (rel.objective >= incumbent - opts.absGap)
+            continue; // bound prune
+
+        // Find the most fractional integral variable.
+        std::size_t branchVar = SIZE_MAX;
+        double bestFrac = opts.integralityTol;
+        for (std::size_t j = 0; j < p.integral.size(); ++j) {
+            if (!p.integral[j])
+                continue;
+            const double v = rel.x[j];
+            const double frac = std::fabs(v - std::round(v));
+            if (frac > bestFrac) {
+                bestFrac = frac;
+                branchVar = j;
+            }
+        }
+
+        if (branchVar == SIZE_MAX) {
+            // Integral solution: new incumbent.
+            incumbent = rel.objective;
+            best.status = LpStatus::Optimal;
+            best.objective = rel.objective;
+            best.x = rel.x;
+            for (std::size_t j = 0; j < p.integral.size(); ++j)
+                if (p.integral[j])
+                    best.x[j] = std::round(best.x[j]);
+            continue;
+        }
+
+        const double v = rel.x[branchVar];
+        Node down = node;
+        down.upper[branchVar] = std::floor(v);
+        Node up = node;
+        up.lower[branchVar] = std::ceil(v);
+        // Depth-first; explore the side nearer the fractional value
+        // first (pushed last).
+        if (v - std::floor(v) < 0.5) {
+            stack.push_back(std::move(up));
+            stack.push_back(std::move(down));
+        } else {
+            stack.push_back(std::move(down));
+            stack.push_back(std::move(up));
+        }
+    }
+
+    return best;
+}
+
+} // namespace ursa::solver

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming summary statistics: Welford mean/variance and extrema.
+ */
+
+#ifndef URSA_STATS_ONLINE_H
+#define URSA_STATS_ONLINE_H
+
+#include <cstddef>
+#include <limits>
+
+namespace ursa::stats
+{
+
+/**
+ * Numerically-stable online mean and variance (Welford's algorithm),
+ * plus min/max. Used for Welch's t-test inputs and CPU-usage summaries.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const OnlineStats &other);
+
+    /** Number of observations. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace ursa::stats
+
+#endif // URSA_STATS_ONLINE_H

@@ -1,0 +1,200 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ursa::stats
+{
+
+namespace
+{
+
+std::uint64_t
+nextState(std::uint64_t &s)
+{
+    // SplitMix64: enough quality for reservoir replacement indices.
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+interpolatedPercentile(const std::vector<double> &sorted, double p)
+{
+    assert(!sorted.empty());
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 100.0)
+        return sorted.back();
+    const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+} // namespace
+
+SampleSet::SampleSet(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rngState_(seed)
+{
+}
+
+void
+SampleSet::trackThreshold(double threshold)
+{
+    assert(observed_ == 0);
+    trackAbove_ = true;
+    aboveThreshold_ = threshold;
+}
+
+void
+SampleSet::add(double x)
+{
+    ++observed_;
+    if (trackAbove_ && x > aboveThreshold_)
+        ++aboveCount_;
+    if (capacity_ == 0 || samples_.size() < capacity_) {
+        samples_.push_back(x);
+    } else {
+        // Vitter's Algorithm R: replace with probability capacity/observed.
+        const std::uint64_t slot = nextState(rngState_) % observed_;
+        if (slot < capacity_)
+            samples_[slot] = x;
+    }
+    sortedValid_ = false;
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (samples_.empty())
+        throw std::logic_error("percentile of empty SampleSet");
+    ensureSorted();
+    return interpolatedPercentile(sorted_, p);
+}
+
+std::vector<double>
+SampleSet::percentiles(const std::vector<double> &ps) const
+{
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (double p : ps)
+        out.push_back(percentile(p));
+    return out;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : samples_)
+        s += v;
+    return s / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::fractionAbove(double threshold) const
+{
+    if (observed_ == 0)
+        return 0.0;
+    if (trackAbove_ && threshold == aboveThreshold_)
+        return static_cast<double>(aboveCount_) /
+               static_cast<double>(observed_);
+    if (samples_.empty())
+        return 0.0;
+    std::size_t above = 0;
+    for (double v : samples_)
+        if (v > threshold)
+            ++above;
+    return static_cast<double>(above) / static_cast<double>(samples_.size());
+}
+
+void
+SampleSet::reset()
+{
+    observed_ = 0;
+    aboveCount_ = 0;
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+}
+
+void
+SampleSet::merge(const SampleSet &other)
+{
+    for (double v : other.samples_)
+        add(v);
+    // add() already incremented observed_ once per retained sample; account
+    // for samples the other set observed but did not retain.
+    observed_ += other.observed_ - other.samples_.size();
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    if (sorted_.empty())
+        throw std::logic_error("quantile of empty EmpiricalCdf");
+    return interpolatedPercentile(sorted_, q * 100.0);
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::curve(std::size_t points) const
+{
+    std::vector<std::pair<double, double>> out;
+    if (sorted_.empty() || points < 2)
+        return out;
+    const double lo = sorted_.front();
+    const double hi = sorted_.back();
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(points - 1);
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+double
+percentileOf(std::vector<double> values, double p)
+{
+    if (values.empty())
+        throw std::logic_error("percentileOf empty vector");
+    std::sort(values.begin(), values.end());
+    return interpolatedPercentile(values, p);
+}
+
+} // namespace ursa::stats

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the sampling
+ * distributions used throughout the simulator and workload generators.
+ *
+ * The whole reproduction is seeded and deterministic: a single Rng
+ * instance is owned by each simulation and every stochastic choice is
+ * drawn from it, so a (topology, workload, seed) triple fully determines
+ * an experiment's outcome.
+ */
+
+#ifndef URSA_STATS_RNG_H
+#define URSA_STATS_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ursa::stats
+{
+
+/**
+ * xoshiro256++ pseudo-random generator.
+ *
+ * Small, fast, and with a period of 2^256 - 1; more than adequate for
+ * discrete-event simulation. Seeding goes through SplitMix64 as the
+ * algorithm's authors recommend, so low-entropy seeds (0, 1, 2, ...)
+ * still yield well-mixed states.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Exponential with the given mean. */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (cached spare). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal parameterized by its *arithmetic* mean and coefficient
+     * of variation (stddev/mean), the natural way to express service
+     * times. cv = 0 degenerates to the constant `mean`.
+     */
+    double lognormal(double mean, double cv);
+
+    /**
+     * Sample an index from a discrete distribution given non-negative
+     * weights. Weights need not be normalized; at least one must be
+     * positive.
+     */
+    std::size_t weightedChoice(const std::vector<double> &weights);
+
+    /** Fork a child generator with an independent stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double spareNormal_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace ursa::stats
+
+#endif // URSA_STATS_RNG_H

@@ -1,0 +1,188 @@
+#include "stats/welch.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ursa::stats
+{
+
+namespace
+{
+
+/**
+ * Continued-fraction evaluation of the incomplete beta function
+ * (modified Lentz's method, as in Numerical Recipes betacf).
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int maxIters = 300;
+    constexpr double eps = 3.0e-12;
+    constexpr double fpmin = 1.0e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= maxIters; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    assert(a > 0.0 && b > 0.0);
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double lnBeta = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+    const double front = std::exp(lnBeta);
+    // Use the continued fraction directly for x < (a+1)/(a+b+2),
+    // else use the symmetry relation.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+studentTCdf(double t, double df)
+{
+    assert(df > 0.0);
+    if (std::isinf(t))
+        return t > 0 ? 1.0 : 0.0;
+    const double x = df / (df + t * t);
+    const double p = 0.5 * incompleteBeta(0.5 * df, 0.5, x);
+    return t >= 0.0 ? 1.0 - p : p;
+}
+
+WelchResult
+welchTTest(const OnlineStats &a, const OnlineStats &b)
+{
+    WelchResult res;
+    if (a.count() < 2 || b.count() < 2)
+        return res;
+
+    const double na = static_cast<double>(a.count());
+    const double nb = static_cast<double>(b.count());
+    const double va = a.variance() / na;
+    const double vb = b.variance() / nb;
+    const double se2 = va + vb;
+    const double diff = a.mean() - b.mean();
+    if (se2 <= 0.0) {
+        // Degenerate: no sampling noise at all.
+        if (diff == 0.0)
+            return res; // identical constants: p = 1
+        res.t = diff > 0 ? std::numeric_limits<double>::infinity()
+                         : -std::numeric_limits<double>::infinity();
+        res.df = na + nb - 2.0;
+        res.pTwoSided = 0.0;
+        res.pGreater = diff > 0 ? 0.0 : 1.0;
+        return res;
+    }
+
+    res.t = diff / std::sqrt(se2);
+    // Welch-Satterthwaite approximation of the degrees of freedom.
+    res.df = se2 * se2 /
+             (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    const double cdf = studentTCdf(res.t, res.df);
+    res.pGreater = 1.0 - cdf;
+    res.pTwoSided = 2.0 * std::min(cdf, 1.0 - cdf);
+    return res;
+}
+
+WelchResult
+welchTTest(const std::vector<double> &a, const std::vector<double> &b)
+{
+    OnlineStats sa, sb;
+    for (double v : a)
+        sa.add(v);
+    for (double v : b)
+        sb.add(v);
+    return welchTTest(sa, sb);
+}
+
+bool
+meansEqual(const std::vector<double> &a, const std::vector<double> &b,
+           double alpha)
+{
+    if (a.size() < 2 || b.size() < 2)
+        return true; // not enough evidence to call them different
+    const WelchResult res = welchTTest(a, b);
+    return res.pTwoSided >= alpha;
+}
+
+bool
+meanExceedsValue(const OnlineStats &a, double mu, double alpha)
+{
+    if (a.count() < 2)
+        return a.mean() > mu;
+    const double se =
+        a.stddev() / std::sqrt(static_cast<double>(a.count()));
+    if (se <= 0.0)
+        return a.mean() > mu;
+    const double t = (a.mean() - mu) / se;
+    const double df = static_cast<double>(a.count() - 1);
+    return 1.0 - studentTCdf(t, df) < alpha;
+}
+
+bool
+meanBelowValue(const OnlineStats &a, double mu, double alpha)
+{
+    if (a.count() < 2)
+        return a.mean() < mu;
+    const double se =
+        a.stddev() / std::sqrt(static_cast<double>(a.count()));
+    if (se <= 0.0)
+        return a.mean() < mu;
+    const double t = (a.mean() - mu) / se;
+    const double df = static_cast<double>(a.count() - 1);
+    return studentTCdf(t, df) < alpha;
+}
+
+bool
+meanExceeds(const OnlineStats &a, const OnlineStats &b, double alpha)
+{
+    if (a.count() < 2 || b.count() < 2) {
+        // With almost no data fall back to a direct mean comparison so
+        // the resource controller is never blind at startup.
+        return a.mean() > b.mean();
+    }
+    const WelchResult res = welchTTest(a, b);
+    return res.pGreater < alpha;
+}
+
+} // namespace ursa::stats

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Welch's unequal-variances t-test.
+ *
+ * Ursa uses Welch's t-test in two places (paper Secs. III and V):
+ *  - the backpressure profiler declares the proxy latency "converged"
+ *    when the test cannot reject equality of the means measured under
+ *    the last two CPU limits;
+ *  - the resource controller treats a scaling threshold as exceeded
+ *    when the test rejects the hypothesis that the actual load's mean
+ *    is no greater than the recorded threshold load's mean.
+ */
+
+#ifndef URSA_STATS_WELCH_H
+#define URSA_STATS_WELCH_H
+
+#include "stats/online.h"
+
+#include <vector>
+
+namespace ursa::stats
+{
+
+/** Result of a Welch t-test. */
+struct WelchResult
+{
+    double t = 0.0;        ///< t statistic (mean(a) - mean(b), studentized)
+    double df = 0.0;       ///< Welch-Satterthwaite degrees of freedom
+    double pTwoSided = 1.0; ///< P(|T| >= |t|)
+    double pGreater = 0.5; ///< P(T >= t): small => mean(a) > mean(b)
+};
+
+/** Regularized incomplete beta function I_x(a, b). */
+double incompleteBeta(double a, double b, double x);
+
+/** CDF of Student's t distribution with `df` degrees of freedom. */
+double studentTCdf(double t, double df);
+
+/** Welch's t-test from two summary accumulators (each needs >= 2 samples). */
+WelchResult welchTTest(const OnlineStats &a, const OnlineStats &b);
+
+/** Welch's t-test from raw sample vectors. */
+WelchResult welchTTest(const std::vector<double> &a,
+                       const std::vector<double> &b);
+
+/**
+ * Two-sided test: can we treat the two means as equal at significance
+ * `alpha`? Degenerate inputs (tiny samples, zero variance with equal
+ * means) are treated as "equal".
+ */
+bool meansEqual(const std::vector<double> &a, const std::vector<double> &b,
+                double alpha = 0.05);
+
+/**
+ * One-sided test used by the resource controller: returns true when the
+ * data rejects "mean(a) <= mean(b)" at significance `alpha`, i.e. the
+ * actual load `a` significantly exceeds the recorded threshold load `b`.
+ */
+bool meanExceeds(const OnlineStats &a, const OnlineStats &b,
+                 double alpha = 0.05);
+
+/**
+ * One-sample, one-sided t-test: true when the data rejects
+ * "mean(a) <= mu" at significance `alpha`. With fewer than 2 samples
+ * falls back to a direct comparison.
+ */
+bool meanExceedsValue(const OnlineStats &a, double mu, double alpha = 0.05);
+
+/** One-sample, one-sided t-test for "mean(a) >= mu" rejection. */
+bool meanBelowValue(const OnlineStats &a, double mu, double alpha = 0.05);
+
+} // namespace ursa::stats
+
+#endif // URSA_STATS_WELCH_H

@@ -1,0 +1,57 @@
+#include "workload/arrival.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ursa::workload
+{
+
+sim::RateProfile
+constantRate(double rps)
+{
+    assert(rps >= 0.0);
+    return [rps](sim::SimTime) { return rps; };
+}
+
+sim::RateProfile
+diurnalRate(double baseRps, double peakRps, sim::SimTime period)
+{
+    assert(period > 0);
+    assert(peakRps >= baseRps);
+    return [=](sim::SimTime t) {
+        const double phase =
+            static_cast<double>(t % period) / static_cast<double>(period);
+        const double frac = phase < 0.5 ? phase * 2.0 : (1.0 - phase) * 2.0;
+        return baseRps + (peakRps - baseRps) * frac;
+    };
+}
+
+sim::RateProfile
+burstRate(double baseRps, double burstFrac, sim::SimTime burstStart,
+          sim::SimTime burstLen)
+{
+    assert(burstFrac >= 0.0);
+    return [=](sim::SimTime t) {
+        if (t >= burstStart && t < burstStart + burstLen)
+            return baseRps * (1.0 + burstFrac);
+        return baseRps;
+    };
+}
+
+sim::RateProfile
+scaled(sim::RateProfile inner, double factor)
+{
+    return [inner = std::move(inner), factor](sim::SimTime t) {
+        return inner(t) * factor;
+    };
+}
+
+sim::RateProfile
+shifted(sim::RateProfile inner, sim::SimTime shift)
+{
+    return [inner = std::move(inner), shift](sim::SimTime t) {
+        return inner(t < shift ? 0 : t - shift);
+    };
+}
+
+} // namespace ursa::workload

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Arrival-rate profiles for the evaluation loads of paper Sec. VII-E:
+ * constant Poisson, diurnal (gradual rise and fall), and burst
+ * (sharp +50%..125% steps), plus composition helpers.
+ */
+
+#ifndef URSA_WORKLOAD_ARRIVAL_H
+#define URSA_WORKLOAD_ARRIVAL_H
+
+#include "sim/client.h"
+#include "sim/time.h"
+
+namespace ursa::workload
+{
+
+/** Constant rate (requests/second). */
+sim::RateProfile constantRate(double rps);
+
+/**
+ * Diurnal profile: rises linearly from `baseRps` to `peakRps` over the
+ * first half of `period`, then falls back over the second half;
+ * repeats.
+ */
+sim::RateProfile diurnalRate(double baseRps, double peakRps,
+                             sim::SimTime period);
+
+/**
+ * Burst profile: `baseRps` everywhere except [burstStart,
+ * burstStart + burstLen), where the rate is baseRps * (1 + burstFrac).
+ * The paper's bursts are 50%..125% (burstFrac 0.5..1.25).
+ */
+sim::RateProfile burstRate(double baseRps, double burstFrac,
+                           sim::SimTime burstStart, sim::SimTime burstLen);
+
+/** Scale another profile by a constant factor. */
+sim::RateProfile scaled(sim::RateProfile inner, double factor);
+
+/** Shift another profile in time (t < shift uses the t=0 value). */
+sim::RateProfile shifted(sim::RateProfile inner, sim::SimTime shift);
+
+} // namespace ursa::workload
+
+#endif // URSA_WORKLOAD_ARRIVAL_H

@@ -1,0 +1,85 @@
+#include "workload/trace.h"
+
+#include <cassert>
+
+namespace ursa::workload
+{
+
+std::size_t
+ArrivalTrace::countOf(sim::ClassId c) const
+{
+    std::size_t n = 0;
+    for (const TraceEntry &e : entries)
+        if (e.classId == c)
+            ++n;
+    return n;
+}
+
+double
+ArrivalTrace::meanRate() const
+{
+    if (entries.size() < 2 || duration() == 0)
+        return 0.0;
+    return static_cast<double>(entries.size()) / sim::toSec(duration());
+}
+
+ArrivalTrace
+makePoissonTrace(stats::Rng &rng, sim::SimTime duration, double rps,
+                 const std::vector<double> &classWeights)
+{
+    assert(rps > 0.0);
+    ArrivalTrace trace;
+    const double meanGapUs = 1e6 / rps;
+    sim::SimTime t = 0;
+    while (true) {
+        t += static_cast<sim::SimTime>(rng.exponential(meanGapUs)) + 1;
+        if (t > duration)
+            break;
+        trace.entries.push_back(
+            {t, static_cast<sim::ClassId>(rng.weightedChoice(classWeights))});
+    }
+    return trace;
+}
+
+TraceReplayClient::TraceReplayClient(sim::Cluster &cluster,
+                                     ArrivalTrace trace, bool loop,
+                                     double rateScale)
+    : cluster_(cluster), trace_(std::move(trace)), loop_(loop),
+      rateScale_(rateScale)
+{
+    assert(rateScale_ > 0.0);
+}
+
+void
+TraceReplayClient::start(sim::SimTime at)
+{
+    if (trace_.entries.empty())
+        return;
+    running_ = true;
+    scheduleEntry(0, at);
+}
+
+void
+TraceReplayClient::scheduleEntry(std::size_t idx, sim::SimTime base)
+{
+    const TraceEntry &e = trace_.entries[idx];
+    const sim::SimTime when =
+        base + static_cast<sim::SimTime>(
+                   static_cast<double>(e.at) / rateScale_);
+    cluster_.events().schedule(
+        std::max(when, cluster_.events().now()), [this, idx, base] {
+            if (!running_)
+                return;
+            cluster_.submit(trace_.entries[idx].classId);
+            ++submitted_;
+            if (idx + 1 < trace_.entries.size()) {
+                scheduleEntry(idx + 1, base);
+            } else if (loop_) {
+                const sim::SimTime span = static_cast<sim::SimTime>(
+                    static_cast<double>(trace_.duration()) / rateScale_);
+                scheduleEntry(0, base + span);
+            }
+        });
+}
+
+} // namespace ursa::workload

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Arrival traces: a recorded sequence of (time, class) arrivals that
+ * can be replayed deterministically. Ursa's exploration (Algorithm 1)
+ * "replays the workload trace on the profiled microservice"; these
+ * types are that trace.
+ */
+
+#ifndef URSA_WORKLOAD_TRACE_H
+#define URSA_WORKLOAD_TRACE_H
+
+#include "sim/client.h"
+#include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/rng.h"
+
+#include <vector>
+
+namespace ursa::workload
+{
+
+/** One recorded arrival. */
+struct TraceEntry
+{
+    sim::SimTime at;
+    sim::ClassId classId;
+};
+
+/** A deterministic arrival trace. */
+struct ArrivalTrace
+{
+    std::vector<TraceEntry> entries;
+
+    /** Duration from 0 to the last arrival. */
+    sim::SimTime duration() const
+    {
+        return entries.empty() ? 0 : entries.back().at;
+    }
+
+    /** Arrivals of a given class. */
+    std::size_t countOf(sim::ClassId c) const;
+
+    /** Overall requests/second across the trace. */
+    double meanRate() const;
+};
+
+/**
+ * Synthesize a Poisson trace of the given duration, total rate, and
+ * class mix (weights over class ids 0..n-1).
+ */
+ArrivalTrace makePoissonTrace(stats::Rng &rng, sim::SimTime duration,
+                              double rps,
+                              const std::vector<double> &classWeights);
+
+/**
+ * Replays a trace into a cluster, optionally looping and scaling the
+ * inter-arrival spacing.
+ */
+class TraceReplayClient
+{
+  public:
+    /**
+     * @param loop When true, the trace restarts after its last entry.
+     * @param rateScale >1 compresses time (higher load), <1 stretches.
+     */
+    TraceReplayClient(sim::Cluster &cluster, ArrivalTrace trace,
+                      bool loop = false, double rateScale = 1.0);
+
+    /** Begin replay at absolute time `at`. */
+    void start(sim::SimTime at = 0);
+
+    /** Stop issuing new arrivals. */
+    void stop() { running_ = false; }
+
+    /** Requests submitted so far. */
+    std::uint64_t submitted() const { return submitted_; }
+
+  private:
+    void scheduleEntry(std::size_t idx, sim::SimTime base);
+
+    sim::Cluster &cluster_;
+    ArrivalTrace trace_;
+    bool loop_;
+    double rateScale_;
+    bool running_ = false;
+    std::uint64_t submitted_ = 0;
+};
+
+} // namespace ursa::workload
+
+#endif // URSA_WORKLOAD_TRACE_H

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the benchmark applications: they instantiate cleanly, every
+ * class completes end-to-end under nominal load with healthy SLAs when
+ * generously provisioned, and the app-specific semantics hold (MQ
+ * priorities in the video pipeline, async ML classes in the social
+ * network).
+ */
+
+#include "apps/app.h"
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::sim;
+using apps::AppSpec;
+
+void
+overProvision(Cluster &c, const AppSpec &app, double factor = 3.0)
+{
+    // Give every service roughly factor x its nominal CPU demand.
+    for (const auto &svc : app.services) {
+        const ServiceId sid = c.serviceId(svc.name);
+        double coreDemand = 0.0;
+        double total = 0.0;
+        for (double w : app.exploreMix)
+            total += w;
+        for (const auto &[cls, b] : svc.behaviors) {
+            const double rate =
+                app.nominalRps * app.exploreMix[cls] / total;
+            coreDemand +=
+                rate * (b.computeMeanUs + b.postComputeMeanUs) / 1e6;
+        }
+        const int replicas = std::max(
+            1, static_cast<int>(coreDemand * factor / svc.cpuPerReplica) +
+                   1);
+        c.service(sid).setReplicas(replicas);
+    }
+}
+
+void
+runNominal(const AppSpec &app, Cluster &c, SimTime duration)
+{
+    OpenLoopClient client(c,
+                          workload::constantRate(app.nominalRps),
+                          fixedMix(app.exploreMix), 77);
+    client.start(0);
+    c.run(duration);
+}
+
+class AppsTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    AppSpec
+    makeApp() const
+    {
+        switch (GetParam()) {
+          case 0:
+            return apps::makeSocialNetwork(false);
+          case 1:
+            return apps::makeSocialNetwork(true);
+          case 2:
+            return apps::makeMediaService();
+          default:
+            return apps::makeVideoPipeline();
+        }
+    }
+};
+
+TEST_P(AppsTest, InstantiatesAndValidates)
+{
+    const AppSpec app = makeApp();
+    Cluster c(1);
+    EXPECT_NO_THROW(app.instantiate(c));
+    EXPECT_EQ(c.numServices(), static_cast<int>(app.services.size()));
+    EXPECT_EQ(c.numClasses(), static_cast<int>(app.classes.size()));
+    EXPECT_EQ(app.exploreMix.size(), app.classes.size());
+}
+
+TEST_P(AppsTest, AllClassesCompleteUnderNominalLoad)
+{
+    const AppSpec app = makeApp();
+    Cluster c(42);
+    app.instantiate(c);
+    overProvision(c, app);
+    runNominal(app, c, 10 * kMin);
+    for (int cls = 0; cls < c.numClasses(); ++cls) {
+        const auto samples =
+            c.metrics().endToEnd(cls).collect(0, 10 * kMin);
+        EXPECT_GT(samples.count(), 0u)
+            << app.name << " class " << c.metrics().className(cls);
+    }
+}
+
+TEST_P(AppsTest, GenerousProvisioningMeetsSlas)
+{
+    const AppSpec app = makeApp();
+    Cluster c(43);
+    app.instantiate(c);
+    overProvision(c, app, 4.0);
+    runNominal(app, c, 15 * kMin);
+    // Warm-up excluded; SLAs should hold comfortably when resources
+    // are plentiful.
+    const double violations =
+        c.metrics().overallSlaViolationRate(2 * kMin, 15 * kMin);
+    EXPECT_LT(violations, 0.02) << app.name;
+}
+
+TEST_P(AppsTest, RepresentativeServicesExist)
+{
+    const AppSpec app = makeApp();
+    for (const std::string &name : app.representative)
+        EXPECT_NO_THROW(app.serviceIndex(name));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppsTest, ::testing::Values(0, 1, 2, 3),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case 0:
+                                 return "social";
+                               case 1:
+                                 return "vanillaSocial";
+                               case 2:
+                                 return "media";
+                               default:
+                                 return "videoPipeline";
+                             }
+                         });
+
+TEST(SocialNetwork, AsyncClassesMeasuredAtFullCompletion)
+{
+    const AppSpec app = apps::makeSocialNetwork(false);
+    Cluster c(7);
+    app.instantiate(c);
+    overProvision(c, app);
+    const ClassId detect = app.classIndex("object-detect");
+    RequestPtr r = c.submit(detect);
+    c.run(kMin);
+    ASSERT_TRUE(r->fullyDone());
+    // Full completion includes the ~800ms detection stage, far beyond
+    // the synchronous response.
+    EXPECT_GT(r->allDoneTime - r->submitTime, fromMs(300.0));
+    EXPECT_LT(r->syncDoneTime - r->submitTime, fromMs(300.0));
+}
+
+TEST(SocialNetwork, VanillaHasNoMlServices)
+{
+    const AppSpec vanilla = apps::makeSocialNetwork(true);
+    for (const auto &svc : vanilla.services) {
+        EXPECT_NE(svc.name, "sentiment");
+        EXPECT_NE(svc.name, "object-detect");
+    }
+    EXPECT_EQ(vanilla.classes.size(), 6u);
+}
+
+TEST(SocialNetwork, TableIISlasEncoded)
+{
+    const AppSpec app = apps::makeSocialNetwork(false);
+    auto target = [&](const std::string &n) {
+        return toMs(app.classes[app.classIndex(n)].sla.targetUs);
+    };
+    EXPECT_DOUBLE_EQ(target("post"), 75.0);
+    EXPECT_DOUBLE_EQ(target("read-timeline"), 250.0);
+    EXPECT_DOUBLE_EQ(target("update-timeline"), 500.0);
+    EXPECT_DOUBLE_EQ(target("upload-image"), 200.0);
+    EXPECT_DOUBLE_EQ(target("download-image"), 75.0);
+    EXPECT_DOUBLE_EQ(target("sentiment-analysis"), 500.0);
+    EXPECT_DOUBLE_EQ(target("object-detect"), 10000.0);
+}
+
+TEST(MediaService, TableIIISlasEncoded)
+{
+    const AppSpec app = apps::makeMediaService();
+    auto target = [&](const std::string &n) {
+        return toMs(app.classes[app.classIndex(n)].sla.targetUs);
+    };
+    EXPECT_DOUBLE_EQ(target("upload-video"), 2000.0);
+    EXPECT_DOUBLE_EQ(target("download-video"), 1500.0);
+    EXPECT_DOUBLE_EQ(target("get-info"), 250.0);
+    EXPECT_DOUBLE_EQ(target("rate-video"), 400.0);
+    EXPECT_DOUBLE_EQ(target("transcode-video"), 40000.0);
+    EXPECT_DOUBLE_EQ(target("generate-thumbnail"), 2000.0);
+}
+
+TEST(VideoPipeline, TableIVSlasEncoded)
+{
+    const AppSpec app = apps::makeVideoPipeline();
+    const auto &high = app.classes[app.classIndex("high-priority")];
+    const auto &low = app.classes[app.classIndex("low-priority")];
+    EXPECT_DOUBLE_EQ(high.sla.percentile, 99.0);
+    EXPECT_DOUBLE_EQ(toMs(high.sla.targetUs), 20000.0);
+    EXPECT_DOUBLE_EQ(low.sla.percentile, 50.0);
+    EXPECT_DOUBLE_EQ(toMs(low.sla.targetUs), 4000.0);
+    EXPECT_EQ(high.priority, 0);
+    EXPECT_EQ(low.priority, 1);
+}
+
+TEST(VideoPipeline, HighPriorityWinsUnderContention)
+{
+    // Load the pipeline near saturation; high-priority latency should
+    // stay well below low-priority latency.
+    const AppSpec app = apps::makeVideoPipeline(0.5);
+    Cluster c(19);
+    app.instantiate(c);
+    overProvision(c, app, 1.15); // barely enough capacity
+    OpenLoopClient client(c, workload::constantRate(app.nominalRps),
+                          fixedMix({0.5, 0.5}), 5);
+    client.start(0);
+    c.run(30 * kMin);
+    const double highP50 = c.metrics()
+                               .endToEnd(0)
+                               .collect(5 * kMin, 30 * kMin)
+                               .percentile(50.0);
+    const double lowP50 = c.metrics()
+                              .endToEnd(1)
+                              .collect(5 * kMin, 30 * kMin)
+                              .percentile(50.0);
+    EXPECT_LT(highP50, lowP50);
+}
+
+TEST(StudyChain, BuildsAllKinds)
+{
+    for (CallKind kind :
+         {CallKind::NestedRpc, CallKind::EventRpc, CallKind::MqPublish}) {
+        const AppSpec app = apps::makeStudyChain(kind, 5);
+        Cluster c(1);
+        EXPECT_NO_THROW(app.instantiate(c));
+        EXPECT_EQ(c.numServices(), 5);
+    }
+}
+
+TEST(StudyChain, PoolsGradedByDepth)
+{
+    const AppSpec app = apps::makeStudyChain(CallKind::NestedRpc, 7);
+    for (std::size_t i = 1; i < app.services.size(); ++i)
+        EXPECT_LE(app.services[i].threads, app.services[i - 1].threads);
+}
+
+TEST(SkewMix, ScalesOneClass)
+{
+    const AppSpec app = apps::makeSocialNetwork(false);
+    const auto skewed =
+        apps::skewMix(app, app.exploreMix, "update-timeline", 2.0);
+    const auto idx = app.classIndex("update-timeline");
+    EXPECT_DOUBLE_EQ(skewed[idx], 2.0 * app.exploreMix[idx]);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/** @file Tests for the Sinan baseline: features, collection, model,
+ * scheduler. */
+
+#include "baselines/sinan.h"
+
+#include "../core/toy_app.h"
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::baselines;
+using namespace ursa::sim;
+
+SinanConfig
+fastConfig()
+{
+    SinanConfig cfg;
+    cfg.interval = 15 * kSec;
+    cfg.hidden = {32, 32};
+    cfg.epochs = 25;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(SinanModel, FeatureLayout)
+{
+    const auto app = tests::makeToyApp();
+    SinanModel model(app, fastConfig());
+    const auto x = model.features({2, 3, 4}, {80.0, 20.0});
+    ASSERT_EQ(x.size(), 5u);
+    EXPECT_DOUBLE_EQ(x[0], 2.0 / 64.0);
+    EXPECT_DOUBLE_EQ(x[3], 0.8);
+}
+
+struct CollectFixture
+{
+    apps::AppSpec app = tests::makeToyApp();
+    Cluster cluster{23};
+    std::unique_ptr<OpenLoopClient> client;
+
+    CollectFixture()
+    {
+        app.instantiate(cluster);
+        // Drive well above nominal so minimum allocations saturate and
+        // the collector can actually produce violating samples.
+        client = std::make_unique<OpenLoopClient>(
+            cluster, workload::constantRate(3.5 * app.nominalRps),
+            fixedMix(app.exploreMix), 9);
+        client->start(0);
+    }
+};
+
+TEST(SinanCollector, CollectsBalancedSamples)
+{
+    CollectFixture f;
+    SinanCollector collector(f.cluster, f.app, fastConfig());
+    const auto samples = collector.collect(80);
+    ASSERT_EQ(samples.size(), 80u);
+    int violations = 0;
+    for (const auto &s : samples) {
+        EXPECT_EQ(s.features.size(), 5u);
+        EXPECT_EQ(s.latencyRatios.size(), 2u);
+        if (s.violation)
+            ++violations;
+    }
+    // The collector aims at a 1:1 label balance; accept a wide band.
+    EXPECT_GT(violations, 8);
+    EXPECT_LT(violations, 72);
+}
+
+TEST(Sinan, ModelLearnsAllocationLatencyTrend)
+{
+    CollectFixture f;
+    auto cfg = fastConfig();
+    cfg.epochs = 60;
+    SinanCollector collector(f.cluster, f.app, cfg);
+    const auto samples = collector.collect(250);
+    SinanModel model(f.app, cfg);
+    model.train(samples);
+    ASSERT_TRUE(model.trained());
+
+    // More replicas on every service should predict lower (or equal)
+    // worst-case latency ratios, probed at the loads seen during
+    // collection (3.5x nominal with a 4:1 mix).
+    const std::vector<double> loads = {280.0, 70.0};
+    auto worst = [&](const std::vector<int> &r) {
+        const auto ratios = model.predictRatios(model.features(r, loads));
+        double w = 0.0;
+        for (double v : ratios)
+            w = std::max(w, v);
+        return w;
+    };
+    EXPECT_GT(worst({1, 1, 1}), worst({4, 8, 8}));
+    // Violation probability responds in the same direction.
+    EXPECT_GT(model.violationProbability(model.features({1, 1, 1}, loads)),
+              model.violationProbability(
+                  model.features({4, 8, 8}, loads)));
+}
+
+TEST(Sinan, SchedulerKeepsServiceAliveAndDecides)
+{
+    CollectFixture f;
+    const auto cfg = fastConfig();
+    SinanCollector collector(f.cluster, f.app, cfg);
+    const auto samples = collector.collect(120);
+    SinanModel model(f.app, cfg);
+    model.train(samples);
+
+    SinanScheduler scheduler(f.cluster, f.app, model, cfg);
+    scheduler.start(f.cluster.events().now());
+    f.cluster.run(f.cluster.events().now() + 10 * kMin);
+    EXPECT_GT(scheduler.decisionLatencyUs().count(), 10u);
+    // Inference over ~candidates through MLP + GBDT costs more than a
+    // threshold check but stays sub-second.
+    EXPECT_LT(scheduler.decisionLatencyUs().mean(), 1e6);
+    for (ServiceId s = 0; s < f.cluster.numServices(); ++s)
+        EXPECT_GE(f.cluster.service(s).activeReplicas(), 1);
+}
+
+} // namespace

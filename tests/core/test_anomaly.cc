@@ -1,0 +1,111 @@
+/** @file Tests for the anomaly detector (load + latency anomalies). */
+
+#include "core/anomaly.h"
+
+#include "sim/client.h"
+#include "toy_app.h"
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::core;
+using namespace ursa::sim;
+
+struct Fixture
+{
+    apps::AppSpec app = tests::makeToyApp();
+    Cluster cluster{77};
+    std::vector<std::vector<double>> thresholds;
+
+    Fixture()
+    {
+        app.instantiate(cluster);
+        cluster.service(cluster.serviceId("worker")).setReplicas(8);
+        cluster.service(cluster.serviceId("mlsvc")).setReplicas(6);
+        // Thresholds matching the canonical 4:1 mix at 100 rps with
+        // ~10 replicas: frontend handles both classes.
+        thresholds.assign(3, std::vector<double>(2, 0.0));
+        thresholds[0] = {20.0, 5.0};  // frontend
+        thresholds[1] = {20.0, 0.0};  // worker (class 0 only)
+        thresholds[2] = {0.0, 5.0};   // mlsvc (class 1 only)
+    }
+
+    void
+    drive(double rps, std::vector<double> mix, SimTime duration)
+    {
+        OpenLoopClient client(cluster, workload::constantRate(rps),
+                              fixedMix(std::move(mix)), 5);
+        client.start(cluster.events().now());
+        cluster.run(cluster.events().now() + duration);
+        client.stop();
+    }
+};
+
+TEST(Anomaly, CanonicalMixIsQuiet)
+{
+    Fixture f;
+    f.drive(100.0, {4.0, 1.0}, 6 * kMin);
+    AnomalyDetector det;
+    const auto report =
+        det.check(f.cluster, f.thresholds, f.cluster.events().now());
+    EXPECT_EQ(report.action, AnomalyAction::None);
+    EXPECT_LT(report.maxDeviation, 1.5);
+}
+
+TEST(Anomaly, SkewedMixTriggersRecalculation)
+{
+    Fixture f;
+    // Flip the mix: the heavy class now dominates 1:4.
+    f.drive(100.0, {1.0, 4.0}, 6 * kMin);
+    AnomalyDetector det;
+    const auto report =
+        det.check(f.cluster, f.thresholds, f.cluster.events().now());
+    EXPECT_EQ(report.action, AnomalyAction::Recalculate);
+    EXPECT_GT(report.maxDeviation, 1.5);
+    EXPECT_FALSE(report.services.empty());
+}
+
+TEST(Anomaly, PersistentDeviationEscalatesToReexplore)
+{
+    Fixture f;
+    f.drive(100.0, {1.0, 4.0}, 6 * kMin);
+    AnomalyDetector det;
+    const auto report = det.check(f.cluster, f.thresholds,
+                                  f.cluster.events().now(),
+                                  /*deviationPersists=*/true);
+    EXPECT_EQ(report.action, AnomalyAction::Reexplore);
+}
+
+TEST(Anomaly, SlaViolationsTriggerReexploration)
+{
+    Fixture f;
+    // Starve the worker so the rpc class blows its 50 ms p99 SLA.
+    f.cluster.service(f.cluster.serviceId("worker")).setReplicas(1);
+    f.cluster.service(f.cluster.serviceId("worker")).setCpuFactor(0.3);
+    f.drive(100.0, {4.0, 1.0}, 6 * kMin);
+    AnomalyDetector det;
+    const auto report =
+        det.check(f.cluster, f.thresholds, f.cluster.events().now());
+    EXPECT_EQ(report.action, AnomalyAction::Reexplore);
+    EXPECT_GT(report.slaViolationRate, 0.15);
+}
+
+TEST(Anomaly, RequestRatioDeviationFormula)
+{
+    Fixture f;
+    f.drive(100.0, {4.0, 1.0}, 6 * kMin);
+    // Deviation of a balanced service is near 1.
+    const double dev = AnomalyDetector::requestRatioDeviation(
+        f.cluster, 0, f.thresholds[0], 0, f.cluster.events().now());
+    EXPECT_NEAR(dev, 1.0, 0.3);
+    // A service with no thresholds reports exactly 1 (no signal).
+    const double quiet = AnomalyDetector::requestRatioDeviation(
+        f.cluster, 0, {0.0, 0.0}, 0, f.cluster.events().now());
+    EXPECT_DOUBLE_EQ(quiet, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for AutoReexplorer: the anomaly detector's Reexplore action
+ * flows through the manager hook, partial exploration runs, and the
+ * refreshed profile is installed.
+ */
+
+#include "core/auto_reexplorer.h"
+
+#include "sim/client.h"
+#include "toy_app.h"
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::core;
+using namespace ursa::sim;
+
+ExplorationOptions
+fastOptions()
+{
+    ExplorationOptions opts;
+    opts.window = 10 * kSec;
+    opts.windowsPerLevel = 4;
+    opts.seed = 5;
+    opts.bpOptions.stepDuration = 30 * kSec;
+    opts.bpOptions.sampleWindow = 5 * kSec;
+    opts.bpOptions.maxSteps = 8;
+    return opts;
+}
+
+TEST(AutoReexplorer, ManualTriggerPatchesProfile)
+{
+    const auto app = tests::makeToyApp();
+    const AppProfile profile =
+        ExplorationController(fastOptions()).exploreApp(app);
+
+    Cluster cluster(31);
+    app.instantiate(cluster);
+    UrsaManager manager(cluster, app, profile);
+    AutoReexplorer re(manager, app, fastOptions());
+    ASSERT_TRUE(manager.deploy(app.nominalRps, app.exploreMix));
+
+    ASSERT_TRUE(manager.onReexplore);
+    manager.onReexplore({cluster.serviceId("worker")});
+    ASSERT_EQ(re.reexplored().size(), 1u);
+    EXPECT_EQ(re.reexplored()[0], cluster.serviceId("worker"));
+    EXPECT_GT(re.samplesSpent(), 0);
+    EXPECT_GT(re.timeSpent(), 0);
+    // The manager now runs on the patched profile and a fresh plan.
+    EXPECT_FALSE(
+        manager.profile().services[cluster.serviceId("worker")]
+            .levels.empty());
+    EXPECT_TRUE(manager.plan().feasible);
+}
+
+TEST(AutoReexplorer, IgnoresOutOfRangeServices)
+{
+    const auto app = tests::makeToyApp();
+    const AppProfile profile =
+        ExplorationController(fastOptions()).exploreApp(app);
+    Cluster cluster(33);
+    app.instantiate(cluster);
+    UrsaManager manager(cluster, app, profile);
+    AutoReexplorer re(manager, app, fastOptions());
+    ASSERT_TRUE(manager.deploy(app.nominalRps, app.exploreMix));
+    manager.onReexplore({-1, 99});
+    EXPECT_TRUE(re.reexplored().empty());
+    EXPECT_TRUE(manager.plan().feasible);
+}
+
+TEST(AutoReexplorer, LatencyAnomalyTriggersEndToEnd)
+{
+    // Degrade the worker's real behavior relative to its exploration
+    // data by throttling its CPU: SLA violations accumulate, the
+    // anomaly detector escalates, and the auto-reexplorer runs.
+    const auto app = tests::makeToyApp();
+    const AppProfile profile =
+        ExplorationController(fastOptions()).exploreApp(app);
+    Cluster cluster(37);
+    app.instantiate(cluster);
+    UrsaManagerOptions mopts;
+    mopts.controlInterval = 10 * kSec;
+    mopts.anomalyInterval = kMin;
+    UrsaManager manager(cluster, app, profile, mopts);
+    AutoReexplorer re(manager, app, fastOptions());
+    ASSERT_TRUE(manager.deploy(app.nominalRps, app.exploreMix));
+
+    cluster.service(cluster.serviceId("worker")).setCpuFactor(0.25);
+    OpenLoopClient client(cluster, workload::constantRate(app.nominalRps),
+                          fixedMix(app.exploreMix), 9);
+    client.start(0);
+    cluster.run(12 * kMin);
+    EXPECT_FALSE(re.reexplored().empty());
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+/** @file Unit tests for the calibrated latency estimator. */
+
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using ursa::core::LatencyEstimator;
+
+TEST(Estimator, DefaultsToUpperBound)
+{
+    LatencyEstimator est(2);
+    est.setUpperBounds({1000.0, 2000.0});
+    EXPECT_DOUBLE_EQ(est.estimate(0), 1000.0);
+    EXPECT_DOUBLE_EQ(est.ratio(1), 1.0);
+}
+
+TEST(Estimator, FirstObservationSeedsRatio)
+{
+    LatencyEstimator est(1);
+    est.setUpperBounds({1000.0});
+    est.observe(0, 800.0);
+    EXPECT_DOUBLE_EQ(est.ratio(0), 0.8);
+    EXPECT_DOUBLE_EQ(est.estimate(0), 800.0);
+}
+
+TEST(Estimator, EwmaTracksDrift)
+{
+    LatencyEstimator est(1, 0.5);
+    est.setUpperBounds({1000.0});
+    est.observe(0, 800.0);
+    est.observe(0, 600.0); // ratio -> 0.5*0.8 + 0.5*0.6 = 0.7
+    EXPECT_DOUBLE_EQ(est.ratio(0), 0.7);
+    EXPECT_DOUBLE_EQ(est.estimate(0), 700.0);
+}
+
+TEST(Estimator, ConvergesToStableRatio)
+{
+    LatencyEstimator est(1, 0.3);
+    est.setUpperBounds({2000.0});
+    for (int i = 0; i < 50; ++i)
+        est.observe(0, 1500.0);
+    EXPECT_NEAR(est.ratio(0), 0.75, 1e-6);
+}
+
+TEST(Estimator, IgnoresDegenerateInputs)
+{
+    LatencyEstimator est(1);
+    est.setUpperBounds({0.0});
+    est.observe(0, 500.0); // no bound yet: ignored
+    EXPECT_DOUBLE_EQ(est.ratio(0), 1.0);
+    est.setUpperBounds({1000.0});
+    est.observe(0, 0.0); // zero measurement: ignored
+    EXPECT_DOUBLE_EQ(est.ratio(0), 1.0);
+}
+
+TEST(Estimator, RatioSurvivesBoundUpdate)
+{
+    LatencyEstimator est(1);
+    est.setUpperBounds({1000.0});
+    est.observe(0, 900.0);
+    est.setUpperBounds({2000.0}); // plan recalculated
+    EXPECT_DOUBLE_EQ(est.estimate(0), 1800.0);
+}
+
+TEST(Estimator, Validation)
+{
+    EXPECT_THROW(LatencyEstimator(1, 0.0), std::invalid_argument);
+    LatencyEstimator est(2);
+    EXPECT_THROW(est.setUpperBounds({1.0}), std::invalid_argument);
+}
+
+} // namespace

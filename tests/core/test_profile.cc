@@ -1,0 +1,81 @@
+/** @file Tests for profile data structures and topology visit counts. */
+
+#include "core/profile.h"
+
+#include "apps/app.h"
+#include "toy_app.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::core;
+
+TEST(VisitCounts, ToyAppDirectPaths)
+{
+    const auto app = tests::makeToyApp();
+    const auto visits = computeVisitCounts(app);
+    const int fe = app.serviceIndex("frontend");
+    const int worker = app.serviceIndex("worker");
+    const int mlsvc = app.serviceIndex("mlsvc");
+    EXPECT_DOUBLE_EQ(visits[fe][0], 1.0);
+    EXPECT_DOUBLE_EQ(visits[worker][0], 1.0);
+    EXPECT_DOUBLE_EQ(visits[mlsvc][0], 0.0);
+    EXPECT_DOUBLE_EQ(visits[fe][1], 1.0);
+    EXPECT_DOUBLE_EQ(visits[worker][1], 0.0);
+    EXPECT_DOUBLE_EQ(visits[mlsvc][1], 1.0);
+}
+
+TEST(VisitCounts, SocialNetworkRepeatedVisits)
+{
+    const auto app = apps::makeSocialNetwork(false);
+    const auto visits = computeVisitCounts(app);
+    const int ps = app.serviceIndex("post-storage");
+    const int rt = app.classIndex("read-timeline");
+    // read-timeline visits post-storage twice via timeline-read.
+    EXPECT_DOUBLE_EQ(visits[ps][rt], 2.0);
+    // Every class visits the frontend exactly once.
+    const int fe = app.serviceIndex("frontend");
+    for (std::size_t c = 0; c < app.classes.size(); ++c)
+        EXPECT_DOUBLE_EQ(visits[fe][c], 1.0);
+    // sentiment sees post, comment and sentiment-analysis.
+    const int senti = app.serviceIndex("sentiment");
+    EXPECT_DOUBLE_EQ(visits[senti][app.classIndex("post")], 1.0);
+    EXPECT_DOUBLE_EQ(visits[senti][app.classIndex("comment")], 1.0);
+    EXPECT_DOUBLE_EQ(
+        visits[senti][app.classIndex("sentiment-analysis")], 1.0);
+    EXPECT_DOUBLE_EQ(visits[senti][app.classIndex("download-image")],
+                     0.0);
+}
+
+TEST(ServiceProfileT, HandlesClassAndLpr)
+{
+    ServiceProfile p;
+    p.serviceName = "svc";
+    LprLevel level;
+    level.replicas = 4;
+    level.loadPerReplica = {10.0, 0.0};
+    level.latency = {{1.0, 2.0}, {}};
+    p.levels.push_back(level);
+    EXPECT_TRUE(p.handlesClass(0));
+    EXPECT_FALSE(p.handlesClass(1));
+    EXPECT_FALSE(p.handlesClass(7));
+    EXPECT_DOUBLE_EQ(p.lpr(0, 0), 10.0);
+}
+
+TEST(AppProfileT, Aggregates)
+{
+    AppProfile prof;
+    ServiceProfile a, b;
+    a.samples = 40;
+    a.exploreTime = 30 * sim::kMin;
+    b.samples = 60;
+    b.exploreTime = 50 * sim::kMin;
+    prof.services = {a, b};
+    EXPECT_EQ(prof.totalSamples(), 100);
+    EXPECT_EQ(prof.wallClockExploreTime(), 50 * sim::kMin);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/** @file Round-trip tests for profile serialization. */
+
+#include "core/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace
+{
+
+using namespace ursa::core;
+
+AppProfile
+sampleProfile()
+{
+    AppProfile prof;
+    prof.grid = {90.0, 99.0, 99.9};
+    ServiceProfile a;
+    a.serviceName = "alpha";
+    a.cpuPerReplica = 2.0;
+    a.bpThreshold = 0.55;
+    a.samples = 40;
+    a.exploreTime = 123456789;
+    LprLevel l1;
+    l1.replicas = 4;
+    l1.cpuUtilization = 0.31;
+    l1.loadPerReplica = {12.5, 0.0};
+    l1.latency = {{100.0, 220.0, 480.0}, {}};
+    a.levels.push_back(l1);
+    LprLevel l2 = l1;
+    l2.replicas = 3;
+    l2.cpuUtilization = 0.42;
+    l2.loadPerReplica = {16.6, 0.0};
+    l2.latency = {{140.0, 300.0, 650.0}, {}};
+    a.levels.push_back(l2);
+    prof.services.push_back(a);
+
+    ServiceProfile b;
+    b.serviceName = "beta";
+    b.cpuPerReplica = 1.0;
+    b.bpThreshold = 1.0;
+    b.samples = 0;
+    prof.services.push_back(b); // unexplored service, no levels
+    return prof;
+}
+
+TEST(ProfileIo, RoundTripPreservesEverything)
+{
+    const AppProfile orig = sampleProfile();
+    std::stringstream ss;
+    saveAppProfile(orig, ss);
+    const AppProfile back = loadAppProfile(ss);
+
+    ASSERT_EQ(back.grid, orig.grid);
+    ASSERT_EQ(back.services.size(), orig.services.size());
+    const auto &sa = back.services[0];
+    EXPECT_EQ(sa.serviceName, "alpha");
+    EXPECT_DOUBLE_EQ(sa.cpuPerReplica, 2.0);
+    EXPECT_DOUBLE_EQ(sa.bpThreshold, 0.55);
+    EXPECT_EQ(sa.samples, 40);
+    EXPECT_EQ(sa.exploreTime, 123456789);
+    ASSERT_EQ(sa.levels.size(), 2u);
+    EXPECT_EQ(sa.levels[0].replicas, 4);
+    EXPECT_DOUBLE_EQ(sa.levels[1].cpuUtilization, 0.42);
+    EXPECT_EQ(sa.levels[0].latency[0],
+              (std::vector<double>{100.0, 220.0, 480.0}));
+    EXPECT_TRUE(sa.levels[0].latency[1].empty());
+    EXPECT_TRUE(back.services[1].levels.empty());
+}
+
+TEST(ProfileIo, RejectsBadMagic)
+{
+    std::stringstream ss("not-a-profile 1 2 3");
+    EXPECT_THROW(loadAppProfile(ss), std::runtime_error);
+}
+
+TEST(ProfileIo, RejectsTruncated)
+{
+    const AppProfile orig = sampleProfile();
+    std::stringstream ss;
+    saveAppProfile(orig, ss);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream cut(text);
+    EXPECT_THROW(loadAppProfile(cut), std::runtime_error);
+}
+
+TEST(ProfileIo, FileHelpers)
+{
+    const std::string path = "/tmp/ursa_profile_io_test.txt";
+    const AppProfile orig = sampleProfile();
+    ASSERT_TRUE(saveAppProfile(orig, path));
+    bool ok = false;
+    const AppProfile back = loadAppProfile(path, ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(back.services.size(), 2u);
+    loadAppProfile("/nonexistent/nope.txt", ok);
+    EXPECT_FALSE(ok);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests of Theorem 1 and the percentile-split DP: exactness against
+ * brute force, residual feasibility, and a statistical check that the
+ * bound holds on correlated random latency distributions.
+ */
+
+#include "core/theorem.h"
+
+#include "stats/quantile.h"
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace
+{
+
+using namespace ursa::core;
+using ursa::stats::percentileOf;
+using ursa::stats::Rng;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Theorem, ResidualBasics)
+{
+    EXPECT_DOUBLE_EQ(residual(99.0), 1.0);
+    EXPECT_DOUBLE_EQ(residual(50.0), 50.0);
+}
+
+TEST(Theorem, SplitResidualCheck)
+{
+    // (99.1, 99.9): residuals 0.9 + 0.1 = 1.0 <= 1.0 for p99: OK.
+    EXPECT_TRUE(splitSatisfiesResiduals({99.1, 99.9}, 99.0));
+    EXPECT_TRUE(splitSatisfiesResiduals({99.5, 99.5}, 99.0));
+    // (99, 99): residuals 2.0 > 1.0: violates.
+    EXPECT_FALSE(splitSatisfiesResiduals({99.0, 99.0}, 99.0));
+}
+
+TEST(SplitDp, SingleStagePicksBudgetedMinimum)
+{
+    const PercentileGrid grid = {90.0, 99.0, 99.9};
+    // Latency grows with percentile; p99 target allows p99 and p99.9.
+    const auto res =
+        optimizePercentileSplit({{10.0, 20.0, 30.0}}, grid, 99.0);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.chosenIdx[0], 1); // p99: residual 1 <= 1, latency 20
+    EXPECT_DOUBLE_EQ(res.totalLatency, 20.0);
+}
+
+TEST(SplitDp, TwoStagesShareBudgetUnevenly)
+{
+    const PercentileGrid grid = {99.0, 99.5, 99.9};
+    // Residuals: 1.0, 0.5, 0.1. Budget for p99 = 1.0.
+    // Stage A's tail is flat (cheap at 99.9); stage B's is steep, so
+    // the solver should spend the budget on B: (99.9, 99.0) invalid
+    // (1.0+0.1 > 1.0)? residual(99.9)+residual(99.0)=1.1 > 1. So
+    // best feasible: (99.9, 99.5) = 0.1+0.5 or (99.5, 99.5) = 1.0.
+    const std::vector<std::vector<double>> lat = {
+        {100.0, 101.0, 102.0}, // A: flat tail
+        {50.0, 200.0, 800.0},  // B: steep tail
+    };
+    const auto res = optimizePercentileSplit(lat, grid, 99.0);
+    ASSERT_TRUE(res.feasible);
+    // Feasible combos (residual sum <= 1.0): (0.5,0.5)=301,
+    // (0.1,0.5)=302, (0.5,0.1)=901, (0.1,0.1)... 0.2<=1: A@99.9 +
+    // B@99.9 = 902. Minimum is A@99.5 + B@99.5 = 101+200 = 301.
+    EXPECT_DOUBLE_EQ(res.totalLatency, 301.0);
+}
+
+TEST(SplitDp, InfeasibleWhenBudgetTooTight)
+{
+    const PercentileGrid grid = {90.0, 95.0};
+    // Three stages at min residual 5 each = 15 > budget 1 (p99).
+    const std::vector<std::vector<double>> lat(3, {1.0, 2.0});
+    EXPECT_FALSE(optimizePercentileSplit(lat, grid, 99.0).feasible);
+}
+
+TEST(SplitDp, InfiniteLatencyForbidsOption)
+{
+    const PercentileGrid grid = {99.0, 99.9};
+    const std::vector<std::vector<double>> lat = {{kInf, 5.0}};
+    const auto res = optimizePercentileSplit(lat, grid, 99.0);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.chosenIdx[0], 1);
+}
+
+TEST(SplitDp, EmptyStagesTriviallyFeasible)
+{
+    const auto res = optimizePercentileSplit({}, defaultGrid(), 99.0);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_DOUBLE_EQ(res.totalLatency, 0.0);
+}
+
+TEST(SplitDp, GridValidation)
+{
+    EXPECT_THROW(
+        optimizePercentileSplit({{1.0, 2.0}}, {99.0, 99.0}, 99.0),
+        std::invalid_argument);
+    EXPECT_THROW(optimizePercentileSplit({{1.0}}, {99.0, 99.9}, 99.0),
+                 std::invalid_argument);
+}
+
+// Property: DP matches brute-force enumeration on random instances.
+TEST(SplitDpProperty, MatchesBruteForce)
+{
+    Rng rng(7);
+    const PercentileGrid grid = {50.0, 90.0, 95.0, 99.0, 99.5, 99.9};
+    for (int trial = 0; trial < 60; ++trial) {
+        const int n = 1 + static_cast<int>(rng.uniformInt(4));
+        std::vector<std::vector<double>> lat(n);
+        for (auto &row : lat) {
+            double v = rng.uniform(1.0, 20.0);
+            for (std::size_t g = 0; g < grid.size(); ++g) {
+                row.push_back(v);
+                v += rng.uniform(0.0, 30.0); // increasing in percentile
+            }
+        }
+        const double target =
+            std::vector<double>{90.0, 99.0, 99.5}[rng.uniformInt(3)];
+
+        // Brute force.
+        double best = kInf;
+        std::vector<int> idx(n, 0);
+        while (true) {
+            std::vector<double> pct(n);
+            double sum = 0.0;
+            for (int s = 0; s < n; ++s) {
+                pct[s] = grid[idx[s]];
+                sum += lat[s][idx[s]];
+            }
+            if (splitSatisfiesResiduals(pct, target))
+                best = std::min(best, sum);
+            int k = 0;
+            while (k < n && ++idx[k] == static_cast<int>(grid.size())) {
+                idx[k] = 0;
+                ++k;
+            }
+            if (k == n)
+                break;
+        }
+
+        const auto res = optimizePercentileSplit(lat, grid, target);
+        if (std::isfinite(best)) {
+            ASSERT_TRUE(res.feasible) << "trial " << trial;
+            EXPECT_NEAR(res.totalLatency, best, 1e-9) << "trial " << trial;
+        } else {
+            EXPECT_FALSE(res.feasible);
+        }
+    }
+}
+
+// Statistical check of Theorem 1 itself: for correlated per-stage
+// latencies, the sum of per-stage percentiles (under the residual
+// condition) upper-bounds the end-to-end percentile.
+TEST(TheoremProperty, BoundHoldsOnCorrelatedDistributions)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int n = 2 + static_cast<int>(rng.uniformInt(3));
+        const int samples = 20000;
+        std::vector<std::vector<double>> stage(n);
+        std::vector<double> total(samples, 0.0);
+        for (int k = 0; k < samples; ++k) {
+            // A shared factor correlates the stages.
+            const double shared = rng.lognormal(1.0, 0.8);
+            for (int s = 0; s < n; ++s) {
+                const double v =
+                    rng.lognormal(5.0 + s, 0.6) * shared;
+                stage[s].push_back(v);
+                total[k] += v;
+            }
+        }
+        // Split p99 budget evenly: x_i = 100 - 1/n.
+        const double xi = 100.0 - 1.0 / n;
+        double bound = 0.0;
+        for (int s = 0; s < n; ++s)
+            bound += percentileOf(stage[s], xi);
+        const double actual = percentileOf(total, 99.0);
+        EXPECT_LE(actual, bound * 1.0 + 1e-9)
+            << "trial " << trial << " n=" << n;
+    }
+}
+
+} // namespace

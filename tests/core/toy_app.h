@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small two-path application used across the core tests: an RPC
+ * chain (frontend -> worker) and an MQ-fed ML-style consumer, two
+ * request classes with p99 SLAs. Small compute values keep exploration
+ * tests fast.
+ */
+
+#ifndef URSA_TESTS_CORE_TOY_APP_H
+#define URSA_TESTS_CORE_TOY_APP_H
+
+#include "apps/app.h"
+
+namespace ursa::tests
+{
+
+inline apps::AppSpec
+makeToyApp()
+{
+    using namespace ursa::sim;
+    apps::AppSpec app;
+    app.name = "toy";
+    app.nominalRps = 100.0;
+    app.representative = {"worker"};
+
+    RequestClassSpec rpc;
+    rpc.name = "rpc";
+    rpc.rootService = "frontend";
+    rpc.sla = {99.0, fromMs(50.0)};
+    app.classes.push_back(rpc);
+
+    RequestClassSpec heavy;
+    heavy.name = "heavy";
+    heavy.rootService = "frontend";
+    heavy.sla = {99.0, fromMs(2000.0)};
+    heavy.asyncCompletion = true;
+    app.classes.push_back(heavy);
+
+    ServiceConfig frontend;
+    frontend.name = "frontend";
+    frontend.threads = 64;
+    frontend.daemonThreads = 16;
+    frontend.cpuPerReplica = 2.0;
+    frontend.initialReplicas = 1;
+    {
+        ClassBehavior b;
+        b.computeMeanUs = 500.0;
+        b.computeCv = 0.2;
+        b.calls = {{"worker", CallKind::NestedRpc}};
+        frontend.behaviors[0] = b;
+        ClassBehavior h;
+        h.computeMeanUs = 500.0;
+        h.computeCv = 0.2;
+        h.calls = {{"mlsvc", CallKind::MqPublish}};
+        frontend.behaviors[1] = h;
+    }
+    app.services.push_back(frontend);
+
+    ServiceConfig worker;
+    worker.name = "worker";
+    worker.threads = 16;
+    worker.cpuPerReplica = 1.0;
+    worker.initialReplicas = 2;
+    {
+        ClassBehavior b;
+        b.computeMeanUs = 5000.0;
+        b.computeCv = 0.3;
+        worker.behaviors[0] = b;
+    }
+    app.services.push_back(worker);
+
+    ServiceConfig mlsvc;
+    mlsvc.name = "mlsvc";
+    mlsvc.threads = 2;
+    mlsvc.cpuPerReplica = 2.0;
+    mlsvc.initialReplicas = 2;
+    mlsvc.mqConsumer = true;
+    {
+        ClassBehavior b;
+        b.computeMeanUs = 50000.0;
+        b.computeCv = 0.3;
+        mlsvc.behaviors[1] = b;
+    }
+    app.services.push_back(mlsvc);
+
+    app.exploreMix = {4.0, 1.0};
+    return app;
+}
+
+} // namespace ursa::tests
+
+#endif // URSA_TESTS_CORE_TOY_APP_H

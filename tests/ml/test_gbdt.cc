@@ -1,0 +1,152 @@
+/** @file Unit tests for gradient-boosted trees. */
+
+#include "ml/gbdt.h"
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace
+{
+
+using ursa::ml::Gbdt;
+using ursa::ml::GbdtConfig;
+using ursa::ml::Objective;
+using ursa::stats::Rng;
+
+TEST(Gbdt, ConfigValidation)
+{
+    GbdtConfig bad;
+    bad.numTrees = 0;
+    EXPECT_THROW(Gbdt{bad}, std::invalid_argument);
+    bad = {};
+    bad.learningRate = 0.0;
+    EXPECT_THROW(Gbdt{bad}, std::invalid_argument);
+}
+
+TEST(Gbdt, PredictBeforeFitThrows)
+{
+    Gbdt model;
+    EXPECT_THROW(model.predict({1.0}), std::logic_error);
+}
+
+TEST(Gbdt, FitsConstant)
+{
+    Gbdt model;
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back({double(i)});
+        ys.push_back(7.0);
+    }
+    model.fit(xs, ys);
+    EXPECT_NEAR(model.predict({25.0}), 7.0, 1e-9);
+}
+
+TEST(Gbdt, FitsStepFunction)
+{
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = i / 100.0;
+        xs.push_back({x});
+        ys.push_back(x < 1.0 ? 2.0 : 5.0);
+    }
+    Gbdt model;
+    model.fit(xs, ys);
+    EXPECT_NEAR(model.predict({0.5}), 2.0, 0.2);
+    EXPECT_NEAR(model.predict({1.5}), 5.0, 0.2);
+}
+
+TEST(Gbdt, FitsNonlinearSurface)
+{
+    Rng rng(3);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 1500; ++i) {
+        const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+        xs.push_back({a, b});
+        ys.push_back(std::sin(4 * a) + b * b);
+    }
+    GbdtConfig cfg;
+    cfg.numTrees = 200;
+    cfg.maxDepth = 4;
+    Gbdt model(cfg);
+    model.fit(xs, ys);
+    double sse = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(0.05, 0.95),
+                     b = rng.uniform(0.05, 0.95);
+        const double err =
+            model.predict({a, b}) - (std::sin(4 * a) + b * b);
+        sse += err * err;
+    }
+    EXPECT_LT(sse / 200.0, 0.02);
+}
+
+TEST(Gbdt, MonotoneTrendPreserved)
+{
+    // Latency-vs-load style data: prediction should increase with load.
+    Rng rng(5);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 800; ++i) {
+        const double load = rng.uniform(0, 10);
+        xs.push_back({load});
+        ys.push_back(load * load + rng.normal(0, 1.0));
+    }
+    Gbdt model;
+    model.fit(xs, ys);
+    EXPECT_LT(model.predict({2.0}), model.predict({5.0}));
+    EXPECT_LT(model.predict({5.0}), model.predict({9.0}));
+}
+
+TEST(Gbdt, LogisticClassification)
+{
+    // Separable in two dimensions: class = (a + b > 1).
+    Rng rng(7);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 1200; ++i) {
+        const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+        xs.push_back({a, b});
+        ys.push_back(a + b > 1.0 ? 1.0 : 0.0);
+    }
+    GbdtConfig cfg;
+    cfg.objective = Objective::Logistic;
+    cfg.numTrees = 150;
+    Gbdt model(cfg);
+    model.fit(xs, ys);
+    int correct = 0;
+    const int trials = 400;
+    for (int i = 0; i < trials; ++i) {
+        const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+        if (model.predictClass({a, b}) == (a + b > 1.0))
+            ++correct;
+    }
+    EXPECT_GT(correct, trials * 0.93);
+    // Probabilities live in [0, 1].
+    const double p = model.predict({0.9, 0.9});
+    EXPECT_GT(p, 0.8);
+    EXPECT_LT(model.predict({0.05, 0.05}), 0.2);
+}
+
+TEST(Gbdt, PredictClassRequiresLogistic)
+{
+    Gbdt model;
+    std::vector<std::vector<double>> xs = {{0.0}, {1.0}};
+    std::vector<double> ys = {0.0, 1.0};
+    model.fit(xs, ys);
+    EXPECT_THROW(model.predictClass({0.5}), std::logic_error);
+}
+
+TEST(Gbdt, MismatchedDatasetThrows)
+{
+    Gbdt model;
+    EXPECT_THROW(model.fit({{1.0}}, {}), std::invalid_argument);
+    EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+/** @file Unit tests for the MLP: shapes, learning, loss regimes. */
+
+#include "ml/mlp.h"
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace
+{
+
+using ursa::ml::Loss;
+using ursa::ml::Mlp;
+using ursa::stats::Rng;
+
+TEST(Mlp, ShapeValidation)
+{
+    EXPECT_THROW(Mlp({4}, 1), std::invalid_argument);
+    Mlp net({3, 8, 2}, 1);
+    EXPECT_EQ(net.inputDim(), 3);
+    EXPECT_EQ(net.outputDim(), 2);
+    EXPECT_EQ(net.parameterCount(), 3u * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Mlp, ForwardDeterministic)
+{
+    Mlp a({2, 4, 1}, 7), b({2, 4, 1}, 7);
+    const std::vector<double> x = {0.3, -0.7};
+    EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(Mlp, LearnsLinearRegression)
+{
+    // y = 2a - 3b + 1.
+    Rng rng(5);
+    std::vector<std::vector<double>> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        xs.push_back({a, b});
+        ys.push_back({2 * a - 3 * b + 1});
+    }
+    Mlp net({2, 16, 1}, 3, 5e-3);
+    const double loss = net.fit(xs, ys, Loss::MeanSquared, 200, 32);
+    EXPECT_LT(loss, 0.01);
+    EXPECT_NEAR(net.forward({0.5, -0.5})[0], 3.5, 0.3);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    const std::vector<std::vector<double>> xs = {
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const std::vector<std::vector<double>> ys = {{0}, {1}, {1}, {0}};
+    Mlp net({2, 16, 1}, 11, 1e-2);
+    net.fit(xs, ys, Loss::Logistic, 2000, 4);
+    EXPECT_LT(net.forward({0, 0}, Loss::Logistic)[0], 0.2);
+    EXPECT_GT(net.forward({0, 1}, Loss::Logistic)[0], 0.8);
+    EXPECT_GT(net.forward({1, 0}, Loss::Logistic)[0], 0.8);
+    EXPECT_LT(net.forward({1, 1}, Loss::Logistic)[0], 0.2);
+}
+
+TEST(Mlp, LogisticOutputsAreProbabilities)
+{
+    Mlp net({3, 8, 2}, 13);
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const auto out = net.forward(
+            {rng.normal(), rng.normal(), rng.normal()}, Loss::Logistic);
+        for (double p : out) {
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+        }
+    }
+}
+
+TEST(Mlp, TrainBatchRejectsBadInput)
+{
+    Mlp net({2, 1}, 1);
+    EXPECT_THROW(net.trainBatch({}, {}, Loss::MeanSquared),
+                 std::invalid_argument);
+    EXPECT_THROW(net.trainBatch({{1, 2}}, {}, Loss::MeanSquared),
+                 std::invalid_argument);
+}
+
+TEST(Mlp, CopyWeightsMakesNetworksIdentical)
+{
+    Mlp a({2, 8, 1}, 1), b({2, 8, 1}, 2);
+    const std::vector<double> x = {0.1, 0.9};
+    EXPECT_NE(a.forward(x), b.forward(x));
+    b.copyWeightsFrom(a);
+    EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(Mlp, BlendWeightsInterpolates)
+{
+    Mlp a({2, 4, 1}, 1), b({2, 4, 1}, 2);
+    const std::vector<double> x = {0.4, -0.2};
+    const double before = a.forward(x)[0];
+    const double target = b.forward(x)[0];
+    a.blendWeightsFrom(b, 1.0); // full copy
+    EXPECT_NEAR(a.forward(x)[0], target, 1e-12);
+    (void)before;
+}
+
+TEST(Mlp, CopyWeightsShapeMismatchThrows)
+{
+    Mlp a({2, 4, 1}, 1), b({2, 5, 1}, 2);
+    EXPECT_THROW(a.copyWeightsFrom(b), std::invalid_argument);
+}
+
+TEST(Mlp, MultiOutputRegression)
+{
+    // y = (a+b, a-b).
+    Rng rng(17);
+    std::vector<std::vector<double>> xs, ys;
+    for (int i = 0; i < 400; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        xs.push_back({a, b});
+        ys.push_back({a + b, a - b});
+    }
+    Mlp net({2, 24, 2}, 3, 5e-3);
+    net.fit(xs, ys, Loss::MeanSquared, 200, 32);
+    const auto out = net.forward({0.3, 0.1});
+    EXPECT_NEAR(out[0], 0.4, 0.15);
+    EXPECT_NEAR(out[1], 0.2, 0.15);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/** @file Unit tests for the Q-learning agent. */
+
+#include "ml/rl.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using ursa::ml::QAgent;
+using ursa::ml::QAgentConfig;
+using ursa::ml::Transition;
+
+TEST(QAgent, EpsilonDecays)
+{
+    QAgentConfig cfg;
+    cfg.epsilonDecaySteps = 100;
+    QAgent agent(cfg, 1);
+    const double e0 = agent.epsilon();
+    for (int i = 0; i < 200; ++i)
+        agent.act({0.0, 0.0, 0.0});
+    EXPECT_GT(e0, agent.epsilon());
+    EXPECT_NEAR(agent.epsilon(), cfg.epsilonEnd, 1e-9);
+}
+
+TEST(QAgent, GreedyActionIsArgmaxQ)
+{
+    QAgentConfig cfg;
+    cfg.stateDim = 2;
+    cfg.numActions = 3;
+    QAgent agent(cfg, 5);
+    const std::vector<double> s = {0.5, -0.5};
+    const auto qs = agent.qValues(s);
+    const int greedy = agent.act(s, /*explore=*/false);
+    for (double q : qs)
+        EXPECT_LE(q, qs[greedy] + 1e-12);
+}
+
+TEST(QAgent, TrainStepNoopUntilBufferFilled)
+{
+    QAgentConfig cfg;
+    cfg.batchSize = 8;
+    QAgent agent(cfg, 2);
+    EXPECT_DOUBLE_EQ(agent.trainStep(), 0.0);
+    EXPECT_EQ(agent.steps(), 0u);
+}
+
+TEST(QAgent, LearnsBanditRewards)
+{
+    // A contextual-free bandit: action 2 always pays 1, others pay 0.
+    // gamma=0 isolates immediate rewards.
+    QAgentConfig cfg;
+    cfg.stateDim = 1;
+    cfg.numActions = 4;
+    cfg.gamma = 0.0;
+    cfg.hidden = {16};
+    cfg.batchSize = 16;
+    cfg.learningRate = 5e-3;
+    QAgent agent(cfg, 7);
+    const std::vector<double> s = {0.0};
+    for (int i = 0; i < 2000; ++i) {
+        const int a = agent.act(s);
+        agent.observe({s, a, a == 2 ? 1.0 : 0.0, s});
+        agent.trainStep();
+    }
+    EXPECT_EQ(agent.act(s, false), 2);
+    const auto qs = agent.qValues(s);
+    EXPECT_NEAR(qs[2], 1.0, 0.2);
+}
+
+TEST(QAgent, LearnsStateDependentPolicy)
+{
+    // Reward = 1 when action matches sign of the state feature.
+    QAgentConfig cfg;
+    cfg.stateDim = 1;
+    cfg.numActions = 2;
+    cfg.gamma = 0.0;
+    cfg.hidden = {16};
+    cfg.batchSize = 16;
+    cfg.learningRate = 5e-3;
+    cfg.epsilonDecaySteps = 2000;
+    QAgent agent(cfg, 11);
+    ursa::stats::Rng rng(3);
+    for (int i = 0; i < 4000; ++i) {
+        const std::vector<double> s = {rng.uniform(-1, 1)};
+        const int a = agent.act(s);
+        const double r = ((s[0] > 0) == (a == 1)) ? 1.0 : 0.0;
+        agent.observe({s, a, r, s});
+        agent.trainStep();
+    }
+    EXPECT_EQ(agent.act({0.8}, false), 1);
+    EXPECT_EQ(agent.act({-0.8}, false), 0);
+}
+
+TEST(QAgent, ReplayBufferBounded)
+{
+    QAgentConfig cfg;
+    cfg.replayCapacity = 10;
+    QAgent agent(cfg, 3);
+    for (int i = 0; i < 100; ++i)
+        agent.observe({{0, 0, 0}, 0, 0.0, {0, 0, 0}});
+    // No direct accessor; just verify training still works.
+    EXPECT_NO_THROW(agent.trainStep());
+}
+
+} // namespace

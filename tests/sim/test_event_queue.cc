@@ -1,0 +1,97 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace
+{
+
+using ursa::sim::EventQueue;
+using ursa::sim::SimTime;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&, i] { order.push_back(i); });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, SchedulingInPastThrows)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runUntil(10);
+    EXPECT_THROW(q.schedule(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, NegativeDelayThrows)
+{
+    EventQueue q;
+    EXPECT_THROW(q.scheduleIn(-1, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    q.runUntil(100);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.processed(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 15);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(20); // boundary inclusive
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ZeroDelaySameTimestampRunsAfterCurrent)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.scheduleIn(0, [&] { order.push_back(2); });
+    });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runNext());
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Property tests of simulator-wide invariants, parameterized over
+ * service configurations: work conservation, Little's law, throughput
+ * stability, utilization bounds, and latency decompositions. These
+ * guard the physics every experiment rests on.
+ */
+
+#include "sim/client.h"
+#include "sim/cluster.h"
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::sim;
+
+/** (threads, cpuPerReplica, replicas, rps, computeMs). */
+using Config = std::tuple<int, double, int, double, double>;
+
+class InvariantTest : public ::testing::TestWithParam<Config>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto [threads, cpu, replicas, rps, computeMs] = GetParam();
+        rps_ = rps;
+        computeMs_ = computeMs;
+        cluster_ = std::make_unique<Cluster>(77);
+        ServiceConfig cfg;
+        cfg.name = "svc";
+        cfg.threads = threads;
+        cfg.cpuPerReplica = cpu;
+        cfg.initialReplicas = replicas;
+        ClassBehavior b;
+        b.computeMeanUs = computeMs * 1000.0;
+        b.computeCv = 0.5;
+        cfg.behaviors[0] = b;
+        cluster_->addService(cfg);
+        RequestClassSpec spec;
+        spec.name = "req";
+        spec.rootService = "svc";
+        spec.sla = {99.0, fromMs(10000.0)};
+        cluster_->addClass(spec);
+        cluster_->finalize();
+
+        client_ = std::make_unique<OpenLoopClient>(
+            *cluster_, workload::constantRate(rps), fixedMix({1.0}), 5);
+        client_->start(0);
+        cluster_->run(horizon_);
+    }
+
+    double
+    offeredCores() const
+    {
+        return rps_ * computeMs_ / 1000.0;
+    }
+
+    /** Completed requests in [from, to) (exact, not reservoir-capped). */
+    std::uint64_t
+    completedIn(SimTime from, SimTime to) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &w : cluster_->metrics().endToEnd(0).windows())
+            if (w.start >= from && w.start + kMin <= to)
+                n += w.stats.count();
+        return n;
+    }
+
+    std::unique_ptr<Cluster> cluster_;
+    std::unique_ptr<OpenLoopClient> client_;
+    double rps_ = 0.0;
+    double computeMs_ = 0.0;
+    const SimTime horizon_ = 10 * kMin;
+};
+
+TEST_P(InvariantTest, UtilizationIsOfferedLoadOverCapacity)
+{
+    const auto [threads, cpu, replicas, rps, computeMs] = GetParam();
+    (void)threads;
+    (void)computeMs;
+    const double capacity = cpu * replicas;
+    const double expected = std::min(1.0, offeredCores() / capacity);
+    const double util =
+        cluster_->metrics().cpuUtilization(0, kMin, horizon_);
+    EXPECT_NEAR(util, expected, 0.08);
+    EXPECT_LE(util, 1.0 + 1e-9);
+}
+
+TEST_P(InvariantTest, WorkConservation)
+{
+    // Busy core-time equals (completed requests) x (mean work) when
+    // the system is stable; allow tolerance for in-flight work and
+    // sampling noise.
+    const auto completed = completedIn(0, horizon_);
+    const double busy = cluster_->service(0).cumBusyCoreUs();
+    const double expected =
+        static_cast<double>(completed) * computeMs_ * 1000.0;
+    if (offeredCores() <
+        std::get<1>(GetParam()) * std::get<2>(GetParam()) * 0.9) {
+        EXPECT_NEAR(busy / expected, 1.0, 0.08);
+    } else {
+        // Saturated: busy time is bounded by capacity.
+        EXPECT_LE(busy, std::get<1>(GetParam()) *
+                            std::get<2>(GetParam()) *
+                            static_cast<double>(horizon_) * 1.01);
+    }
+}
+
+TEST_P(InvariantTest, ThroughputMatchesArrivalsWhenStable)
+{
+    const auto [threads, cpu, replicas, rps, computeMs] = GetParam();
+    (void)threads;
+    (void)computeMs;
+    if (offeredCores() > 0.9 * cpu * replicas)
+        GTEST_SKIP() << "saturated configuration";
+    const auto done = completedIn(kMin, horizon_);
+    const double throughput =
+        static_cast<double>(done) / toSec(horizon_ - kMin);
+    EXPECT_NEAR(throughput, rps, 0.1 * rps);
+}
+
+TEST_P(InvariantTest, LittlesLawHolds)
+{
+    const auto [threads, cpu, replicas, rps, computeMs] = GetParam();
+    (void)threads;
+    (void)cpu;
+    (void)replicas;
+    (void)computeMs;
+    if (offeredCores() >
+        0.85 * std::get<1>(GetParam()) * std::get<2>(GetParam()))
+        GTEST_SKIP() << "saturated configuration";
+    // L = lambda * W: mean in-flight = rate x mean sojourn.
+    const auto samples =
+        cluster_->metrics().endToEnd(0).collect(kMin, horizon_);
+    ASSERT_GT(samples.count(), 100u);
+    const double meanSojournSec = samples.mean() / 1e6;
+    const double littleL = rps * meanSojournSec;
+    // Mean in-flight from busy integral: with PS, in-flight >= busy
+    // cores; for an uncontended system they coincide.
+    const double busyCores =
+        cluster_->service(0).cumBusyCoreUs() /
+        static_cast<double>(horizon_);
+    EXPECT_GE(littleL * 1.15 + 0.05, busyCores);
+}
+
+TEST_P(InvariantTest, LatencyAtLeastIdealCompute)
+{
+    // No request can finish faster than its work at 1 core, minus the
+    // lognormal's lower tail; check p50 >= 40% of the mean work.
+    const auto samples =
+        cluster_->metrics().endToEnd(0).collect(kMin, horizon_);
+    ASSERT_FALSE(samples.empty());
+    EXPECT_GE(samples.percentile(50.0), 0.4 * computeMs_ * 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantTest,
+    ::testing::Values(
+        Config{16, 1.0, 1, 50.0, 5.0},   // light load
+        Config{16, 1.0, 2, 200.0, 5.0},  // moderate
+        Config{4, 2.0, 2, 300.0, 10.0},  // near-saturation (0.75)
+        Config{2, 1.0, 4, 100.0, 20.0},  // tight threads
+        Config{32, 4.0, 1, 500.0, 4.0},  // one fat replica
+        Config{8, 0.5, 8, 150.0, 10.0}), // fractional CPUs
+    [](const auto &info) {
+        return "cfg" + std::to_string(info.index);
+    });
+
+TEST(InvariantMisc, DrainingNeverLosesRequests)
+{
+    // Scale a service up and down aggressively under load; every
+    // submitted request must still complete.
+    Cluster c(13);
+    ServiceConfig cfg;
+    cfg.name = "svc";
+    cfg.threads = 8;
+    cfg.cpuPerReplica = 1.0;
+    cfg.initialReplicas = 4;
+    ClassBehavior b;
+    b.computeMeanUs = 5000.0;
+    b.computeCv = 0.4;
+    cfg.behaviors[0] = b;
+    c.addService(cfg);
+    RequestClassSpec spec;
+    spec.name = "r";
+    spec.rootService = "svc";
+    spec.sla = {99.0, fromMs(5000.0)};
+    c.addClass(spec);
+    c.finalize();
+
+    OpenLoopClient client(c, workload::constantRate(200.0),
+                          fixedMix({1.0}), 5);
+    client.start(0);
+    stats::Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        c.run((i + 1) * 15 * kSec);
+        c.service(0).setReplicas(1 + static_cast<int>(rng.uniformInt(6)));
+    }
+    client.stop();
+    c.run(15 * kMin);
+    std::uint64_t done = 0;
+    for (const auto &w : c.metrics().endToEnd(0).windows())
+        done += w.stats.count();
+    EXPECT_EQ(done, client.submitted());
+}
+
+TEST(InvariantMisc, MqNeverLosesMessagesAcrossScaling)
+{
+    Cluster c(17);
+    ServiceConfig prod;
+    prod.name = "prod";
+    prod.threads = 64;
+    prod.cpuPerReplica = 8.0;
+    ClassBehavior pb;
+    pb.computeMeanUs = 200.0;
+    pb.calls = {{"cons", CallKind::MqPublish}};
+    prod.behaviors[0] = pb;
+    c.addService(prod);
+    ServiceConfig cons;
+    cons.name = "cons";
+    cons.threads = 2;
+    cons.cpuPerReplica = 2.0;
+    cons.initialReplicas = 2;
+    cons.mqConsumer = true;
+    ClassBehavior cb;
+    cb.computeMeanUs = 20000.0;
+    cb.computeCv = 0.3;
+    cons.behaviors[0] = cb;
+    c.addService(cons);
+    RequestClassSpec spec;
+    spec.name = "r";
+    spec.rootService = "prod";
+    spec.asyncCompletion = true;
+    spec.sla = {99.0, fromMs(60000.0)};
+    c.addClass(spec);
+    c.finalize();
+
+    OpenLoopClient client(c, workload::constantRate(120.0),
+                          fixedMix({1.0}), 5);
+    client.start(0);
+    stats::Rng rng(7);
+    for (int i = 0; i < 30; ++i) {
+        c.run((i + 1) * 20 * kSec);
+        c.service(c.serviceId("cons"))
+            .setReplicas(1 + static_cast<int>(rng.uniformInt(5)));
+    }
+    client.stop();
+    c.service(c.serviceId("cons")).setReplicas(8); // drain fast
+    c.run(c.events().now() + 10 * kMin);
+    std::uint64_t done = 0;
+    for (const auto &w : c.metrics().endToEnd(0).windows())
+        done += w.stats.count();
+    EXPECT_EQ(done, client.submitted());
+}
+
+TEST(InvariantMisc, DeterminismAcrossTopologies)
+{
+    auto digest = [](std::uint64_t seed) {
+        Cluster c(seed);
+        ServiceConfig a;
+        a.name = "a";
+        a.threads = 8;
+        a.cpuPerReplica = 2.0;
+        ClassBehavior ab;
+        ab.computeMeanUs = 2000.0;
+        ab.computeCv = 0.6;
+        ab.calls = {{"b", CallKind::NestedRpc},
+                    {"mq", CallKind::MqPublish}};
+        a.behaviors[0] = ab;
+        c.addService(a);
+        ServiceConfig bsvc;
+        bsvc.name = "b";
+        bsvc.threads = 8;
+        bsvc.cpuPerReplica = 1.0;
+        ClassBehavior bb;
+        bb.computeMeanUs = 3000.0;
+        bb.computeCv = 0.4;
+        bsvc.behaviors[0] = bb;
+        c.addService(bsvc);
+        ServiceConfig mq;
+        mq.name = "mq";
+        mq.threads = 2;
+        mq.cpuPerReplica = 2.0;
+        mq.mqConsumer = true;
+        ClassBehavior mb;
+        mb.computeMeanUs = 15000.0;
+        mb.computeCv = 0.5;
+        mq.behaviors[0] = mb;
+        c.addService(mq);
+        RequestClassSpec spec;
+        spec.name = "r";
+        spec.rootService = "a";
+        spec.asyncCompletion = true;
+        spec.sla = {99.0, fromMs(1000.0)};
+        c.addClass(spec);
+        c.finalize();
+        OpenLoopClient client(c, workload::constantRate(150.0),
+                              fixedMix({1.0}), 9);
+        client.start(0);
+        c.run(5 * kMin);
+        return std::make_tuple(
+            c.events().processed(),
+            c.metrics().endToEnd(0).collect(0, 5 * kMin).count(),
+            c.metrics().endToEnd(0).collect(0, 5 * kMin).percentile(99));
+    };
+    EXPECT_EQ(digest(42), digest(42));
+    EXPECT_NE(std::get<2>(digest(42)), std::get<2>(digest(43)));
+}
+
+} // namespace

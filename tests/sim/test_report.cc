@@ -1,0 +1,114 @@
+/** @file Tests for the experiment reporting helpers. */
+
+#include "sim/report.h"
+
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::sim;
+
+struct Fixture
+{
+    Cluster cluster{5};
+    Fixture()
+    {
+        ServiceConfig cfg;
+        cfg.name = "svc";
+        cfg.threads = 32;
+        cfg.cpuPerReplica = 4.0;
+        ClassBehavior b;
+        b.computeMeanUs = 2000.0;
+        b.computeCv = 0.3;
+        cfg.behaviors[0] = b;
+        cfg.behaviors[1] = b;
+        cluster.addService(cfg);
+        RequestClassSpec fast;
+        fast.name = "fast";
+        fast.rootService = "svc";
+        fast.sla = {99.0, fromMs(50.0)};
+        cluster.addClass(fast);
+        RequestClassSpec slow = fast;
+        slow.name = "slow";
+        slow.sla = {50.0, fromMs(100.0)};
+        cluster.addClass(slow);
+        cluster.finalize();
+        OpenLoopClient client(cluster, workload::constantRate(100.0),
+                              fixedMix({1.0, 1.0}), 7);
+        client.start(0);
+        cluster.run(5 * kMin);
+    }
+};
+
+TEST(Report, SummaryCountsAndLatencies)
+{
+    Fixture f;
+    const auto s = summarize(f.cluster, 0, 5 * kMin);
+    ASSERT_EQ(s.classes.size(), 2u);
+    EXPECT_GT(s.requestsCompleted, 25000u);
+    EXPECT_EQ(s.requestsCompleted,
+              s.classes[0].completed + s.classes[1].completed);
+    EXPECT_NEAR(s.totalCpuCores, 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.overallViolationRate, 0.0);
+    for (const auto &pc : s.classes) {
+        EXPECT_GT(pc.p50Ms, 1.0);
+        EXPECT_GE(pc.p99Ms, pc.p50Ms);
+        EXPECT_LT(pc.latencyAtSlaPctMs, pc.slaTargetMs);
+    }
+}
+
+TEST(Report, PrintSummaryMentionsEveryClass)
+{
+    Fixture f;
+    std::ostringstream out;
+    printSummary(summarize(f.cluster, 0, 5 * kMin), out);
+    EXPECT_NE(out.str().find("fast"), std::string::npos);
+    EXPECT_NE(out.str().find("slow"), std::string::npos);
+    EXPECT_NE(out.str().find("SLA violation rate"), std::string::npos);
+}
+
+TEST(Report, ClassSeriesCsvShape)
+{
+    Fixture f;
+    std::ostringstream out;
+    writeClassSeriesCsv(f.cluster, 0, 5 * kMin, out);
+    std::istringstream in(out.str());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header,
+              "minute,class,count,p50_ms,p99_ms,lat_at_sla_ms,violated");
+    int rows = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++rows;
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 6);
+    }
+    // 5 windows x 2 classes.
+    EXPECT_EQ(rows, 10);
+}
+
+TEST(Report, ServiceSeriesCsvShape)
+{
+    Fixture f;
+    std::ostringstream out;
+    writeServiceSeriesCsv(f.cluster, 0, 5 * kMin, out);
+    std::istringstream in(out.str());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "minute,service,rps,utilization,alloc_cores,replicas");
+    int rows = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, 5); // 5 windows x 1 service
+    EXPECT_NE(out.str().find("svc"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/** @file Unit tests for the two-phase simplex LP solver. */
+
+#include "solver/lp.h"
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace
+{
+
+using ursa::solver::LpProblem;
+using ursa::solver::LpStatus;
+using ursa::solver::Rel;
+using ursa::solver::solveLp;
+using ursa::stats::Rng;
+
+TEST(Lp, SimpleTwoVarMax)
+{
+    // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  -> x=4, y=0, obj=12.
+    LpProblem p(2);
+    p.setCost(0, -3.0);
+    p.setCost(1, -2.0);
+    p.addConstraint({1.0, 1.0}, Rel::LessEq, 4.0);
+    p.addConstraint({1.0, 3.0}, Rel::LessEq, 6.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.objective, -12.0, 1e-9);
+    EXPECT_NEAR(res.x[0], 4.0, 1e-9);
+    EXPECT_NEAR(res.x[1], 0.0, 1e-9);
+}
+
+TEST(Lp, ClassicProductionProblem)
+{
+    // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21.
+    LpProblem p(2);
+    p.setCost(0, -5.0);
+    p.setCost(1, -4.0);
+    p.addConstraint({6.0, 4.0}, Rel::LessEq, 24.0);
+    p.addConstraint({1.0, 2.0}, Rel::LessEq, 6.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.x[0], 3.0, 1e-9);
+    EXPECT_NEAR(res.x[1], 1.5, 1e-9);
+    EXPECT_NEAR(res.objective, -21.0, 1e-9);
+}
+
+TEST(Lp, GreaterEqAndEquality)
+{
+    // min x + y s.t. x + y >= 2, x = 0.5 -> y = 1.5.
+    LpProblem p(2);
+    p.setCost(0, 1.0);
+    p.setCost(1, 1.0);
+    p.addConstraint({1.0, 1.0}, Rel::GreaterEq, 2.0);
+    p.addConstraint({1.0, 0.0}, Rel::Equal, 0.5);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.x[0], 0.5, 1e-9);
+    EXPECT_NEAR(res.x[1], 1.5, 1e-9);
+}
+
+TEST(Lp, InfeasibleDetected)
+{
+    LpProblem p(1);
+    p.setCost(0, 1.0);
+    p.addConstraint({1.0}, Rel::GreaterEq, 5.0);
+    p.addConstraint({1.0}, Rel::LessEq, 2.0);
+    EXPECT_EQ(solveLp(p).status, LpStatus::Infeasible);
+}
+
+TEST(Lp, UnboundedDetected)
+{
+    LpProblem p(1);
+    p.setCost(0, -1.0); // maximize x with no upper limit
+    p.addConstraint({1.0}, Rel::GreaterEq, 0.0);
+    EXPECT_EQ(solveLp(p).status, LpStatus::Unbounded);
+}
+
+TEST(Lp, VariableBoundsRespected)
+{
+    // min -x with x in [1, 3].
+    LpProblem p(1);
+    p.setCost(0, -1.0);
+    p.setBounds(0, 1.0, 3.0);
+    p.addConstraint({1.0}, Rel::GreaterEq, 0.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.x[0], 3.0, 1e-9);
+}
+
+TEST(Lp, NonZeroLowerBoundShift)
+{
+    // min x + y, x >= 2, y >= 3, x + y >= 7 -> obj 7.
+    LpProblem p(2);
+    p.setCost(0, 1.0);
+    p.setCost(1, 1.0);
+    p.setBounds(0, 2.0, 100.0);
+    p.setBounds(1, 3.0, 100.0);
+    p.addConstraint({1.0, 1.0}, Rel::GreaterEq, 7.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.objective, 7.0, 1e-9);
+}
+
+TEST(Lp, NoConstraintsUsesBounds)
+{
+    LpProblem p(2);
+    p.setCost(0, 1.0);  // minimized at lower bound
+    p.setCost(1, -1.0); // maximized at upper bound
+    p.setBounds(0, 0.5, 2.0);
+    p.setBounds(1, 0.0, 4.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.x[0], 0.5, 1e-12);
+    EXPECT_NEAR(res.x[1], 4.0, 1e-12);
+}
+
+TEST(Lp, DegenerateProblemTerminates)
+{
+    // A problem with lots of redundant constraints (degeneracy).
+    LpProblem p(2);
+    p.setCost(0, -1.0);
+    p.setCost(1, -1.0);
+    for (int i = 0; i < 10; ++i)
+        p.addConstraint({1.0, 1.0}, Rel::LessEq, 1.0);
+    p.addConstraint({1.0, 0.0}, Rel::LessEq, 1.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.objective, -1.0, 1e-9);
+}
+
+TEST(Lp, SparseConstraintHelper)
+{
+    LpProblem p(4);
+    p.setCost(2, 1.0);
+    p.addSparseConstraint({{2, 1.0}}, Rel::GreaterEq, 3.0);
+    const auto res = solveLp(p);
+    ASSERT_EQ(res.status, LpStatus::Optimal);
+    EXPECT_NEAR(res.x[2], 3.0, 1e-9);
+}
+
+TEST(Lp, ArityMismatchThrows)
+{
+    LpProblem p(2);
+    EXPECT_THROW(p.addConstraint({1.0}, Rel::LessEq, 1.0),
+                 std::invalid_argument);
+}
+
+// Property: solutions satisfy all constraints on random feasible LPs.
+TEST(LpProperty, RandomProblemsSatisfyConstraints)
+{
+    Rng r(17);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 2 + r.uniformInt(4);
+        const std::size_t m = 1 + r.uniformInt(5);
+        LpProblem p(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            p.setCost(j, r.uniform(-2.0, 2.0));
+            p.setBounds(j, 0.0, r.uniform(1.0, 10.0));
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+            std::vector<double> a(n);
+            for (auto &v : a)
+                v = r.uniform(0.0, 3.0);
+            p.addConstraint(a, Rel::LessEq, r.uniform(1.0, 20.0));
+        }
+        const auto res = solveLp(p);
+        // Bounded box + <= rows with non-negative coefficients: always
+        // feasible (x = 0) and bounded.
+        ASSERT_EQ(res.status, LpStatus::Optimal);
+        for (std::size_t i = 0; i < m; ++i) {
+            double lhs = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                lhs += p.rows[i].a[j] * res.x[j];
+            EXPECT_LE(lhs, p.rows[i].b + 1e-6);
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_GE(res.x[j], -1e-9);
+            EXPECT_LE(res.x[j], p.upper[j] + 1e-9);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/** @file Unit + property tests for SampleSet and EmpiricalCdf. */
+
+#include "stats/quantile.h"
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace
+{
+
+using ursa::stats::EmpiricalCdf;
+using ursa::stats::percentileOf;
+using ursa::stats::Rng;
+using ursa::stats::SampleSet;
+
+TEST(SampleSet, PercentileSmall)
+{
+    SampleSet s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(12.5), 1.5);
+}
+
+TEST(SampleSet, PercentileOfEmptyThrows)
+{
+    SampleSet s;
+    EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(SampleSet, PercentileClampsOutOfRange)
+{
+    SampleSet s;
+    s.add(2.0);
+    s.add(8.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-5), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(150), 8.0);
+}
+
+TEST(SampleSet, UnsortedInsertOrderIrrelevant)
+{
+    SampleSet a, b;
+    const std::vector<double> v = {9, 1, 7, 3, 5, 2, 8, 4, 6, 0};
+    for (double x : v)
+        a.add(x);
+    std::vector<double> w = v;
+    std::sort(w.begin(), w.end());
+    for (double x : w)
+        b.add(x);
+    for (double p : {10.0, 33.0, 66.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+}
+
+TEST(SampleSet, ReservoirKeepsCapacity)
+{
+    SampleSet s(100, 42);
+    for (int i = 0; i < 10000; ++i)
+        s.add(i);
+    EXPECT_EQ(s.count(), 10000u);
+    EXPECT_EQ(s.samples().size(), 100u);
+}
+
+TEST(SampleSet, ReservoirMedianUnbiased)
+{
+    // Reservoir median of uniform[0,1) should be near 0.5.
+    Rng r(1);
+    double totalErr = 0.0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+        SampleSet s(500, 100 + t);
+        for (int i = 0; i < 20000; ++i)
+            s.add(r.uniform());
+        totalErr += s.percentile(50) - 0.5;
+    }
+    EXPECT_NEAR(totalErr / trials, 0.0, 0.02);
+}
+
+TEST(SampleSet, TrackThresholdExactUnderReservoir)
+{
+    SampleSet s(10, 7);
+    s.trackThreshold(0.5);
+    Rng r(2);
+    int above = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.uniform();
+        if (v > 0.5)
+            ++above;
+        s.add(v);
+    }
+    EXPECT_DOUBLE_EQ(s.fractionAbove(0.5), double(above) / n);
+}
+
+TEST(SampleSet, FractionAboveNoTracking)
+{
+    SampleSet s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAbove(10.0), 0.0);
+}
+
+TEST(SampleSet, MergeCombines)
+{
+    SampleSet a, b;
+    a.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.percentile(50), 2.0);
+}
+
+TEST(SampleSet, ResetClears)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleSet, MeanOfRetained)
+{
+    SampleSet s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+}
+
+// Property: percentile is monotone in p.
+TEST(SampleSetProperty, PercentileMonotone)
+{
+    Rng r(33);
+    for (int trial = 0; trial < 20; ++trial) {
+        SampleSet s;
+        const int n = 1 + int(r.uniformInt(200));
+        for (int i = 0; i < n; ++i)
+            s.add(r.lognormal(10.0, 1.0));
+        double prev = -1.0;
+        for (double p = 0; p <= 100.0; p += 2.5) {
+            const double v = s.percentile(p);
+            EXPECT_GE(v, prev);
+            prev = v;
+        }
+    }
+}
+
+// Property: percentileOf agrees with SampleSet on exact storage.
+TEST(SampleSetProperty, AgreesWithVectorHelper)
+{
+    Rng r(44);
+    for (int trial = 0; trial < 10; ++trial) {
+        SampleSet s;
+        std::vector<double> v;
+        const int n = 5 + int(r.uniformInt(100));
+        for (int i = 0; i < n; ++i) {
+            const double x = r.normal(0, 5);
+            s.add(x);
+            v.push_back(x);
+        }
+        for (double p : {1.0, 25.0, 50.0, 75.0, 99.0})
+            EXPECT_DOUBLE_EQ(s.percentile(p), percentileOf(v, p));
+    }
+}
+
+TEST(EmpiricalCdf, BasicSteps)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInverse)
+{
+    EmpiricalCdf cdf({10.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 30.0);
+}
+
+TEST(EmpiricalCdf, CurveSpansRangeAndIsMonotone)
+{
+    Rng r(55);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(r.exponential(2.0));
+    EmpiricalCdf cdf(v);
+    const auto curve = cdf.curve(50);
+    ASSERT_EQ(curve.size(), 50u);
+    double prev = -1.0;
+    for (const auto &[x, y] : curve) {
+        EXPECT_GE(y, prev);
+        prev = y;
+    }
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+} // namespace

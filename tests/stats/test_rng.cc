@@ -1,0 +1,154 @@
+/** @file Unit tests for the deterministic RNG and its distributions. */
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace
+{
+
+using ursa::stats::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng r(3);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[r.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(5);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialZeroMeanIsZero)
+{
+    Rng r(5);
+    EXPECT_DOUBLE_EQ(r.exponential(0.0), 0.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanAndCv)
+{
+    Rng r(17);
+    double sum = 0.0, sq = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.lognormal(5.0, 0.5);
+        EXPECT_GT(v, 0.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var) / mean, 0.5, 0.02);
+}
+
+TEST(Rng, LognormalZeroCvIsConstant)
+{
+    Rng r(19);
+    EXPECT_DOUBLE_EQ(r.lognormal(7.0, 0.0), 7.0);
+}
+
+TEST(Rng, WeightedChoiceProportions)
+{
+    Rng r(23);
+    const std::vector<double> w = {1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.weightedChoice(w)];
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.015);
+    EXPECT_NEAR(counts[2] / double(n), 0.6, 0.015);
+}
+
+TEST(Rng, WeightedChoiceAllZeroThrows)
+{
+    Rng r(29);
+    EXPECT_THROW(r.weightedChoice({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, WeightedChoiceSkipsZeroWeight)
+{
+    Rng r(31);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(r.weightedChoice({0.0, 1.0, 0.0}), 1u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+} // namespace

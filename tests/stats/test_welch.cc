@@ -1,0 +1,178 @@
+/** @file Unit tests for Welch's t-test and its special functions. */
+
+#include "stats/welch.h"
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace
+{
+
+using ursa::stats::incompleteBeta;
+using ursa::stats::meanExceeds;
+using ursa::stats::meansEqual;
+using ursa::stats::OnlineStats;
+using ursa::stats::Rng;
+using ursa::stats::studentTCdf;
+using ursa::stats::welchTTest;
+
+TEST(IncompleteBeta, Endpoints)
+{
+    EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase)
+{
+    // I_0.5(a, a) = 0.5 for any a.
+    for (double a : {0.5, 1.0, 3.0, 10.0})
+        EXPECT_NEAR(incompleteBeta(a, a, 0.5), 0.5, 1e-10);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase)
+{
+    // I_x(1, 1) = x.
+    for (double x : {0.1, 0.3, 0.7, 0.9})
+        EXPECT_NEAR(incompleteBeta(1.0, 1.0, x), x, 1e-10);
+}
+
+TEST(IncompleteBeta, KnownValue)
+{
+    // I_x(2, 2) = 3x^2 - 2x^3.
+    for (double x : {0.2, 0.5, 0.8}) {
+        EXPECT_NEAR(incompleteBeta(2.0, 2.0, x),
+                    3 * x * x - 2 * x * x * x, 1e-10);
+    }
+}
+
+TEST(StudentT, SymmetryAndCenter)
+{
+    EXPECT_NEAR(studentTCdf(0.0, 5.0), 0.5, 1e-12);
+    for (double t : {0.5, 1.0, 2.5}) {
+        EXPECT_NEAR(studentTCdf(t, 7.0) + studentTCdf(-t, 7.0), 1.0,
+                    1e-10);
+    }
+}
+
+TEST(StudentT, KnownQuantiles)
+{
+    // t_{0.975, df=10} = 2.228; CDF(2.228, 10) ~ 0.975.
+    EXPECT_NEAR(studentTCdf(2.228, 10.0), 0.975, 1e-3);
+    // t_{0.95, df=5} = 2.015.
+    EXPECT_NEAR(studentTCdf(2.015, 5.0), 0.95, 1e-3);
+    // Large df approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+    EXPECT_NEAR(studentTCdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(Welch, IdenticalSamplesPValueOne)
+{
+    const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+    const auto res = welchTTest(a, a);
+    EXPECT_NEAR(res.t, 0.0, 1e-12);
+    EXPECT_NEAR(res.pTwoSided, 1.0, 1e-12);
+}
+
+TEST(Welch, ClearlyDifferentMeans)
+{
+    Rng r(1);
+    std::vector<double> a, b;
+    for (int i = 0; i < 50; ++i) {
+        a.push_back(r.normal(10.0, 1.0));
+        b.push_back(r.normal(20.0, 1.0));
+    }
+    const auto res = welchTTest(a, b);
+    EXPECT_LT(res.pTwoSided, 1e-6);
+    EXPECT_LT(res.t, 0.0); // mean(a) < mean(b)
+    EXPECT_FALSE(meansEqual(a, b));
+}
+
+TEST(Welch, SameDistributionUsuallyEqual)
+{
+    Rng r(2);
+    int rejections = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> a, b;
+        for (int i = 0; i < 30; ++i) {
+            a.push_back(r.normal(5.0, 2.0));
+            b.push_back(r.normal(5.0, 2.0));
+        }
+        if (!meansEqual(a, b, 0.05))
+            ++rejections;
+    }
+    // Type-I error should be near alpha = 5%.
+    EXPECT_LT(rejections, trials * 0.12);
+}
+
+TEST(Welch, WelchDfBetweenMinAndSum)
+{
+    Rng r(3);
+    std::vector<double> a, b;
+    for (int i = 0; i < 10; ++i)
+        a.push_back(r.normal(0.0, 1.0));
+    for (int i = 0; i < 40; ++i)
+        b.push_back(r.normal(0.0, 5.0));
+    const auto res = welchTTest(a, b);
+    EXPECT_GE(res.df, 9.0);
+    EXPECT_LE(res.df, 48.0);
+}
+
+TEST(Welch, TooFewSamplesTreatedEqual)
+{
+    EXPECT_TRUE(meansEqual({1.0}, {100.0}));
+}
+
+TEST(Welch, ZeroVarianceDistinctMeans)
+{
+    const std::vector<double> a = {2.0, 2.0, 2.0};
+    const std::vector<double> b = {3.0, 3.0, 3.0};
+    const auto res = welchTTest(a, b);
+    EXPECT_DOUBLE_EQ(res.pTwoSided, 0.0);
+    EXPECT_FALSE(meansEqual(a, b));
+}
+
+TEST(Welch, MeanExceedsOneSided)
+{
+    Rng r(4);
+    OnlineStats high, low;
+    for (int i = 0; i < 40; ++i) {
+        high.add(r.normal(12.0, 1.0));
+        low.add(r.normal(10.0, 1.0));
+    }
+    EXPECT_TRUE(meanExceeds(high, low, 0.05));
+    EXPECT_FALSE(meanExceeds(low, high, 0.05));
+}
+
+TEST(Welch, MeanExceedsFallbackWithTinySamples)
+{
+    OnlineStats a, b;
+    a.add(5.0);
+    b.add(1.0);
+    EXPECT_TRUE(meanExceeds(a, b));
+    EXPECT_FALSE(meanExceeds(b, a));
+}
+
+TEST(Welch, NoisyEqualLoadsDoNotTriggerScaling)
+{
+    // The resource-controller use case: load fluctuating around the
+    // threshold should not count as exceeding it.
+    Rng r(5);
+    int triggers = 0;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+        OnlineStats actual, threshold;
+        for (int i = 0; i < 20; ++i) {
+            actual.add(r.normal(100.0, 10.0));
+            threshold.add(r.normal(100.0, 10.0));
+        }
+        if (meanExceeds(actual, threshold, 0.05))
+            ++triggers;
+    }
+    EXPECT_LT(triggers, 15);
+}
+
+} // namespace

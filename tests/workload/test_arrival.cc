@@ -1,0 +1,62 @@
+/** @file Unit tests for arrival-rate profiles. */
+
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::workload;
+using sim::kMin;
+using sim::SimTime;
+
+TEST(Arrival, ConstantRate)
+{
+    auto p = constantRate(120.0);
+    EXPECT_DOUBLE_EQ(p(0), 120.0);
+    EXPECT_DOUBLE_EQ(p(1000 * kMin), 120.0);
+}
+
+TEST(Arrival, DiurnalShape)
+{
+    auto p = diurnalRate(100.0, 300.0, 60 * kMin);
+    EXPECT_DOUBLE_EQ(p(0), 100.0);
+    EXPECT_DOUBLE_EQ(p(30 * kMin), 300.0); // peak at half period
+    EXPECT_DOUBLE_EQ(p(15 * kMin), 200.0); // linear rise
+    EXPECT_DOUBLE_EQ(p(45 * kMin), 200.0); // linear fall
+    EXPECT_DOUBLE_EQ(p(60 * kMin), 100.0); // repeats
+}
+
+TEST(Arrival, DiurnalPeriodicity)
+{
+    auto p = diurnalRate(50.0, 100.0, 10 * kMin);
+    for (SimTime t = 0; t < 10 * kMin; t += kMin)
+        EXPECT_DOUBLE_EQ(p(t), p(t + 10 * kMin));
+}
+
+TEST(Arrival, BurstWindow)
+{
+    auto p = burstRate(200.0, 1.25, 10 * kMin, 5 * kMin);
+    EXPECT_DOUBLE_EQ(p(0), 200.0);
+    EXPECT_DOUBLE_EQ(p(10 * kMin), 450.0);
+    EXPECT_DOUBLE_EQ(p(14 * kMin), 450.0);
+    EXPECT_DOUBLE_EQ(p(15 * kMin), 200.0);
+}
+
+TEST(Arrival, ScaledProfile)
+{
+    auto p = scaled(constantRate(100.0), 1.5);
+    EXPECT_DOUBLE_EQ(p(0), 150.0);
+}
+
+TEST(Arrival, ShiftedProfile)
+{
+    auto p = shifted(burstRate(100.0, 0.5, 0, kMin), 5 * kMin);
+    EXPECT_DOUBLE_EQ(p(0), 150.0);       // pre-shift uses t=0 (burst on)
+    EXPECT_DOUBLE_EQ(p(5 * kMin), 150.0); // burst starts here
+    EXPECT_DOUBLE_EQ(p(7 * kMin), 100.0);
+}
+
+} // namespace

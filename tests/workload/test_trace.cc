@@ -1,0 +1,116 @@
+/** @file Unit + integration tests for arrival traces and replay. */
+
+#include "workload/trace.h"
+
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::workload;
+using namespace ursa::sim;
+
+TEST(Trace, PoissonTraceRateAndMix)
+{
+    stats::Rng rng(5);
+    const auto trace =
+        makePoissonTrace(rng, 10 * kMin, 100.0, {3.0, 1.0});
+    EXPECT_NEAR(trace.meanRate(), 100.0, 5.0);
+    const double frac0 = static_cast<double>(trace.countOf(0)) /
+                         static_cast<double>(trace.entries.size());
+    EXPECT_NEAR(frac0, 0.75, 0.03);
+}
+
+TEST(Trace, TimesAreStrictlyIncreasing)
+{
+    stats::Rng rng(9);
+    const auto trace = makePoissonTrace(rng, kMin, 500.0, {1.0});
+    for (std::size_t i = 1; i < trace.entries.size(); ++i)
+        EXPECT_GT(trace.entries[i].at, trace.entries[i - 1].at);
+}
+
+TEST(Trace, EmptyTraceProperties)
+{
+    ArrivalTrace t;
+    EXPECT_EQ(t.duration(), 0);
+    EXPECT_DOUBLE_EQ(t.meanRate(), 0.0);
+}
+
+std::unique_ptr<Cluster>
+simpleCluster()
+{
+    auto c = std::make_unique<Cluster>(3);
+    ServiceConfig cfg;
+    cfg.name = "svc";
+    cfg.threads = 64;
+    cfg.cpuPerReplica = 16.0;
+    ClassBehavior b;
+    b.computeMeanUs = 500.0;
+    cfg.behaviors[0] = b;
+    cfg.behaviors[1] = b;
+    c->addService(cfg);
+    for (int i = 0; i < 2; ++i) {
+        RequestClassSpec spec;
+        spec.name = "c" + std::to_string(i);
+        spec.rootService = "svc";
+        spec.sla = {99.0, fromMs(50.0)};
+        c->addClass(spec);
+    }
+    c->finalize();
+    return c;
+}
+
+TEST(TraceReplay, SubmitsEveryEntry)
+{
+    stats::Rng rng(11);
+    auto trace = makePoissonTrace(rng, kMin, 50.0, {1.0, 1.0});
+    const auto n = trace.entries.size();
+    auto c = simpleCluster();
+    TraceReplayClient client(*c, trace);
+    client.start(0);
+    c->run(2 * kMin);
+    EXPECT_EQ(client.submitted(), n);
+}
+
+TEST(TraceReplay, LoopRestartsTrace)
+{
+    stats::Rng rng(13);
+    auto trace = makePoissonTrace(rng, kMin, 20.0, {1.0, 0.0});
+    const auto n = trace.entries.size();
+    auto c = simpleCluster();
+    TraceReplayClient client(*c, trace, /*loop=*/true);
+    client.start(0);
+    c->run(3 * kMin + kSec);
+    EXPECT_GE(client.submitted(), 3 * n - 3);
+}
+
+TEST(TraceReplay, RateScaleCompressesTime)
+{
+    stats::Rng rng(17);
+    auto trace = makePoissonTrace(rng, 2 * kMin, 30.0, {1.0, 0.0});
+    const auto n = trace.entries.size();
+    auto c = simpleCluster();
+    TraceReplayClient client(*c, trace, false, 2.0);
+    client.start(0);
+    c->run(kMin + kSec); // full 2-minute trace fits in 1 minute at 2x
+    EXPECT_EQ(client.submitted(), n);
+}
+
+TEST(TraceReplay, StopHalts)
+{
+    stats::Rng rng(19);
+    auto trace = makePoissonTrace(rng, 10 * kMin, 50.0, {1.0, 0.0});
+    auto c = simpleCluster();
+    TraceReplayClient client(*c, trace, true);
+    client.start(0);
+    c->run(kMin);
+    client.stop();
+    const auto count = client.submitted();
+    c->run(5 * kMin);
+    EXPECT_EQ(client.submitted(), count);
+}
+
+} // namespace
