@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backpressure.dir/bench_ablation_backpressure.cc.o"
+  "CMakeFiles/bench_ablation_backpressure.dir/bench_ablation_backpressure.cc.o.d"
+  "bench_ablation_backpressure"
+  "bench_ablation_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

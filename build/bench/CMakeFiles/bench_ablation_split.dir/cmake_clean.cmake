@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_split.dir/bench_ablation_split.cc.o"
+  "CMakeFiles/bench_ablation_split.dir/bench_ablation_split.cc.o.d"
+  "bench_ablation_split"
+  "bench_ablation_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

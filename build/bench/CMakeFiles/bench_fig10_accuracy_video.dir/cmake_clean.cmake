@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_accuracy_video.dir/bench_fig10_accuracy_video.cc.o"
+  "CMakeFiles/bench_fig10_accuracy_video.dir/bench_fig10_accuracy_video.cc.o.d"
+  "bench_fig10_accuracy_video"
+  "bench_fig10_accuracy_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_accuracy_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

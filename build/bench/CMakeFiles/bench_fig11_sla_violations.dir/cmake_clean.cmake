@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sla_violations.dir/bench_fig11_sla_violations.cc.o"
+  "CMakeFiles/bench_fig11_sla_violations.dir/bench_fig11_sla_violations.cc.o.d"
+  "bench_fig11_sla_violations"
+  "bench_fig11_sla_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sla_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cpu_allocation.dir/bench_fig12_cpu_allocation.cc.o"
+  "CMakeFiles/bench_fig12_cpu_allocation.dir/bench_fig12_cpu_allocation.cc.o.d"
+  "bench_fig12_cpu_allocation"
+  "bench_fig12_cpu_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cpu_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_diurnal.dir/bench_fig13_diurnal.cc.o"
+  "CMakeFiles/bench_fig13_diurnal.dir/bench_fig13_diurnal.cc.o.d"
+  "bench_fig13_diurnal"
+  "bench_fig13_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

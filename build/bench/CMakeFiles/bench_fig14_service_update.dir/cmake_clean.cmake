@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_service_update.dir/bench_fig14_service_update.cc.o"
+  "CMakeFiles/bench_fig14_service_update.dir/bench_fig14_service_update.cc.o.d"
+  "bench_fig14_service_update"
+  "bench_fig14_service_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_service_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

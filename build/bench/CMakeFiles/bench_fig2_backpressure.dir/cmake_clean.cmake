@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_backpressure.dir/bench_fig2_backpressure.cc.o"
+  "CMakeFiles/bench_fig2_backpressure.dir/bench_fig2_backpressure.cc.o.d"
+  "bench_fig2_backpressure"
+  "bench_fig2_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

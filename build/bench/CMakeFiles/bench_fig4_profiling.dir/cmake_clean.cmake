@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_profiling.dir/bench_fig4_profiling.cc.o"
+  "CMakeFiles/bench_fig4_profiling.dir/bench_fig4_profiling.cc.o.d"
+  "bench_fig4_profiling"
+  "bench_fig4_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

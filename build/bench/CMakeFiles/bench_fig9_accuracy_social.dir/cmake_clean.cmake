@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_accuracy_social.dir/bench_fig9_accuracy_social.cc.o"
+  "CMakeFiles/bench_fig9_accuracy_social.dir/bench_fig9_accuracy_social.cc.o.d"
+  "bench_fig9_accuracy_social"
+  "bench_fig9_accuracy_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_accuracy_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

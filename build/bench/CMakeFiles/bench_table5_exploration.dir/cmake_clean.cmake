@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_exploration.dir/bench_table5_exploration.cc.o"
+  "CMakeFiles/bench_table5_exploration.dir/bench_table5_exploration.cc.o.d"
+  "bench_table5_exploration"
+  "bench_table5_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

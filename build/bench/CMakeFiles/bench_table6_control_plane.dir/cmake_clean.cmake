@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_control_plane.dir/bench_table6_control_plane.cc.o"
+  "CMakeFiles/bench_table6_control_plane.dir/bench_table6_control_plane.cc.o.d"
+  "bench_table6_control_plane"
+  "bench_table6_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

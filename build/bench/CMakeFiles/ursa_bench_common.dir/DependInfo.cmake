@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cc" "bench/CMakeFiles/ursa_bench_common.dir/common.cc.o" "gcc" "bench/CMakeFiles/ursa_bench_common.dir/common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ursa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ursa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ursa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ursa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ursa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ursa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ursa_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

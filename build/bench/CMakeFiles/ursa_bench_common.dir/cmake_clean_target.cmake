@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libursa_bench_common.a"
+)

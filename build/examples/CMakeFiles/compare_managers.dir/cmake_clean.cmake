@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_managers.dir/compare_managers.cpp.o"
+  "CMakeFiles/compare_managers.dir/compare_managers.cpp.o.d"
+  "compare_managers"
+  "compare_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

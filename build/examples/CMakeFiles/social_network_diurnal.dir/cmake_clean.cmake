@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_diurnal.dir/social_network_diurnal.cpp.o"
+  "CMakeFiles/social_network_diurnal.dir/social_network_diurnal.cpp.o.d"
+  "social_network_diurnal"
+  "social_network_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for social_network_diurnal.
+# This may be replaced when dependencies are built.

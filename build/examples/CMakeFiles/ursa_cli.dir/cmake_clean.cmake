@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_cli.dir/ursa_cli.cpp.o"
+  "CMakeFiles/ursa_cli.dir/ursa_cli.cpp.o.d"
+  "ursa_cli"
+  "ursa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

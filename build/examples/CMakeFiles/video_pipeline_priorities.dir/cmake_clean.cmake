@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_pipeline_priorities.dir/video_pipeline_priorities.cpp.o"
+  "CMakeFiles/video_pipeline_priorities.dir/video_pipeline_priorities.cpp.o.d"
+  "video_pipeline_priorities"
+  "video_pipeline_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_pipeline_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/ursa_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/ursa_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/chains.cc" "src/apps/CMakeFiles/ursa_apps.dir/chains.cc.o" "gcc" "src/apps/CMakeFiles/ursa_apps.dir/chains.cc.o.d"
+  "/root/repo/src/apps/media_service.cc" "src/apps/CMakeFiles/ursa_apps.dir/media_service.cc.o" "gcc" "src/apps/CMakeFiles/ursa_apps.dir/media_service.cc.o.d"
+  "/root/repo/src/apps/social_network.cc" "src/apps/CMakeFiles/ursa_apps.dir/social_network.cc.o" "gcc" "src/apps/CMakeFiles/ursa_apps.dir/social_network.cc.o.d"
+  "/root/repo/src/apps/video_pipeline.cc" "src/apps/CMakeFiles/ursa_apps.dir/video_pipeline.cc.o" "gcc" "src/apps/CMakeFiles/ursa_apps.dir/video_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ursa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_apps.dir/app.cc.o"
+  "CMakeFiles/ursa_apps.dir/app.cc.o.d"
+  "CMakeFiles/ursa_apps.dir/chains.cc.o"
+  "CMakeFiles/ursa_apps.dir/chains.cc.o.d"
+  "CMakeFiles/ursa_apps.dir/media_service.cc.o"
+  "CMakeFiles/ursa_apps.dir/media_service.cc.o.d"
+  "CMakeFiles/ursa_apps.dir/social_network.cc.o"
+  "CMakeFiles/ursa_apps.dir/social_network.cc.o.d"
+  "CMakeFiles/ursa_apps.dir/video_pipeline.cc.o"
+  "CMakeFiles/ursa_apps.dir/video_pipeline.cc.o.d"
+  "libursa_apps.a"
+  "libursa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_baselines.dir/autoscaler.cc.o"
+  "CMakeFiles/ursa_baselines.dir/autoscaler.cc.o.d"
+  "CMakeFiles/ursa_baselines.dir/firm.cc.o"
+  "CMakeFiles/ursa_baselines.dir/firm.cc.o.d"
+  "CMakeFiles/ursa_baselines.dir/sinan.cc.o"
+  "CMakeFiles/ursa_baselines.dir/sinan.cc.o.d"
+  "libursa_baselines.a"
+  "libursa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cc" "src/core/CMakeFiles/ursa_core.dir/anomaly.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/anomaly.cc.o.d"
+  "/root/repo/src/core/auto_reexplorer.cc" "src/core/CMakeFiles/ursa_core.dir/auto_reexplorer.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/auto_reexplorer.cc.o.d"
+  "/root/repo/src/core/bp_profiler.cc" "src/core/CMakeFiles/ursa_core.dir/bp_profiler.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/bp_profiler.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/ursa_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "src/core/CMakeFiles/ursa_core.dir/explorer.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/explorer.cc.o.d"
+  "/root/repo/src/core/harness.cc" "src/core/CMakeFiles/ursa_core.dir/harness.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/harness.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/core/CMakeFiles/ursa_core.dir/manager.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/manager.cc.o.d"
+  "/root/repo/src/core/mip_model.cc" "src/core/CMakeFiles/ursa_core.dir/mip_model.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/mip_model.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/ursa_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "src/core/CMakeFiles/ursa_core.dir/profile_io.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/core/resource_controller.cc" "src/core/CMakeFiles/ursa_core.dir/resource_controller.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/resource_controller.cc.o.d"
+  "/root/repo/src/core/theorem.cc" "src/core/CMakeFiles/ursa_core.dir/theorem.cc.o" "gcc" "src/core/CMakeFiles/ursa_core.dir/theorem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ursa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ursa_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ursa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ursa_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

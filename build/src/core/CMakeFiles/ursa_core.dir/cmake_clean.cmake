@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_core.dir/anomaly.cc.o"
+  "CMakeFiles/ursa_core.dir/anomaly.cc.o.d"
+  "CMakeFiles/ursa_core.dir/auto_reexplorer.cc.o"
+  "CMakeFiles/ursa_core.dir/auto_reexplorer.cc.o.d"
+  "CMakeFiles/ursa_core.dir/bp_profiler.cc.o"
+  "CMakeFiles/ursa_core.dir/bp_profiler.cc.o.d"
+  "CMakeFiles/ursa_core.dir/estimator.cc.o"
+  "CMakeFiles/ursa_core.dir/estimator.cc.o.d"
+  "CMakeFiles/ursa_core.dir/explorer.cc.o"
+  "CMakeFiles/ursa_core.dir/explorer.cc.o.d"
+  "CMakeFiles/ursa_core.dir/harness.cc.o"
+  "CMakeFiles/ursa_core.dir/harness.cc.o.d"
+  "CMakeFiles/ursa_core.dir/manager.cc.o"
+  "CMakeFiles/ursa_core.dir/manager.cc.o.d"
+  "CMakeFiles/ursa_core.dir/mip_model.cc.o"
+  "CMakeFiles/ursa_core.dir/mip_model.cc.o.d"
+  "CMakeFiles/ursa_core.dir/profile.cc.o"
+  "CMakeFiles/ursa_core.dir/profile.cc.o.d"
+  "CMakeFiles/ursa_core.dir/profile_io.cc.o"
+  "CMakeFiles/ursa_core.dir/profile_io.cc.o.d"
+  "CMakeFiles/ursa_core.dir/resource_controller.cc.o"
+  "CMakeFiles/ursa_core.dir/resource_controller.cc.o.d"
+  "CMakeFiles/ursa_core.dir/theorem.cc.o"
+  "CMakeFiles/ursa_core.dir/theorem.cc.o.d"
+  "libursa_core.a"
+  "libursa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/ursa_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/ursa_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/ursa_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/ursa_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/rl.cc" "src/ml/CMakeFiles/ursa_ml.dir/rl.cc.o" "gcc" "src/ml/CMakeFiles/ursa_ml.dir/rl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ursa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

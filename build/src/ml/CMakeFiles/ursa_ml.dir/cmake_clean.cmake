@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_ml.dir/gbdt.cc.o"
+  "CMakeFiles/ursa_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/ursa_ml.dir/mlp.cc.o"
+  "CMakeFiles/ursa_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/ursa_ml.dir/rl.cc.o"
+  "CMakeFiles/ursa_ml.dir/rl.cc.o.d"
+  "libursa_ml.a"
+  "libursa_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ursa_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/client.cc" "src/sim/CMakeFiles/ursa_sim.dir/client.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/client.cc.o.d"
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/ursa_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/ursa_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/ursa_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/replica.cc" "src/sim/CMakeFiles/ursa_sim.dir/replica.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/replica.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/ursa_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/service.cc" "src/sim/CMakeFiles/ursa_sim.dir/service.cc.o" "gcc" "src/sim/CMakeFiles/ursa_sim.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ursa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

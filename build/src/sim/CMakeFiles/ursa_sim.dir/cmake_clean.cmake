@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_sim.dir/client.cc.o"
+  "CMakeFiles/ursa_sim.dir/client.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/cluster.cc.o"
+  "CMakeFiles/ursa_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ursa_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/metrics.cc.o"
+  "CMakeFiles/ursa_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/replica.cc.o"
+  "CMakeFiles/ursa_sim.dir/replica.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/report.cc.o"
+  "CMakeFiles/ursa_sim.dir/report.cc.o.d"
+  "CMakeFiles/ursa_sim.dir/service.cc.o"
+  "CMakeFiles/ursa_sim.dir/service.cc.o.d"
+  "libursa_sim.a"
+  "libursa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

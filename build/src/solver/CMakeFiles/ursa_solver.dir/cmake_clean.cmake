@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_solver.dir/lp.cc.o"
+  "CMakeFiles/ursa_solver.dir/lp.cc.o.d"
+  "CMakeFiles/ursa_solver.dir/mip.cc.o"
+  "CMakeFiles/ursa_solver.dir/mip.cc.o.d"
+  "libursa_solver.a"
+  "libursa_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

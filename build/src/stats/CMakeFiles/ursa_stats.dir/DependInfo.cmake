@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/online.cc" "src/stats/CMakeFiles/ursa_stats.dir/online.cc.o" "gcc" "src/stats/CMakeFiles/ursa_stats.dir/online.cc.o.d"
+  "/root/repo/src/stats/quantile.cc" "src/stats/CMakeFiles/ursa_stats.dir/quantile.cc.o" "gcc" "src/stats/CMakeFiles/ursa_stats.dir/quantile.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/ursa_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/ursa_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/ursa_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/ursa_stats.dir/timeseries.cc.o.d"
+  "/root/repo/src/stats/welch.cc" "src/stats/CMakeFiles/ursa_stats.dir/welch.cc.o" "gcc" "src/stats/CMakeFiles/ursa_stats.dir/welch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_stats.dir/online.cc.o"
+  "CMakeFiles/ursa_stats.dir/online.cc.o.d"
+  "CMakeFiles/ursa_stats.dir/quantile.cc.o"
+  "CMakeFiles/ursa_stats.dir/quantile.cc.o.d"
+  "CMakeFiles/ursa_stats.dir/rng.cc.o"
+  "CMakeFiles/ursa_stats.dir/rng.cc.o.d"
+  "CMakeFiles/ursa_stats.dir/timeseries.cc.o"
+  "CMakeFiles/ursa_stats.dir/timeseries.cc.o.d"
+  "CMakeFiles/ursa_stats.dir/welch.cc.o"
+  "CMakeFiles/ursa_stats.dir/welch.cc.o.d"
+  "libursa_stats.a"
+  "libursa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

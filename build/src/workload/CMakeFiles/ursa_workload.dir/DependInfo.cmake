@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/ursa_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/ursa_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ursa_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ursa_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ursa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ursa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_workload.dir/arrival.cc.o"
+  "CMakeFiles/ursa_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/ursa_workload.dir/trace.cc.o"
+  "CMakeFiles/ursa_workload.dir/trace.cc.o.d"
+  "libursa_workload.a"
+  "libursa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

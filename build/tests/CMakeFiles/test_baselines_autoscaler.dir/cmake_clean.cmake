@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_autoscaler.dir/baselines/test_autoscaler.cc.o"
+  "CMakeFiles/test_baselines_autoscaler.dir/baselines/test_autoscaler.cc.o.d"
+  "test_baselines_autoscaler"
+  "test_baselines_autoscaler.pdb"
+  "test_baselines_autoscaler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_firm.dir/baselines/test_firm.cc.o"
+  "CMakeFiles/test_baselines_firm.dir/baselines/test_firm.cc.o.d"
+  "test_baselines_firm"
+  "test_baselines_firm.pdb"
+  "test_baselines_firm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_firm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines_sinan.dir/baselines/test_sinan.cc.o"
+  "CMakeFiles/test_baselines_sinan.dir/baselines/test_sinan.cc.o.d"
+  "test_baselines_sinan"
+  "test_baselines_sinan.pdb"
+  "test_baselines_sinan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines_sinan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

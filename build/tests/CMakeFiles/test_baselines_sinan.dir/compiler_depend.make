@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_baselines_sinan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_anomaly.dir/core/test_anomaly.cc.o"
+  "CMakeFiles/test_core_anomaly.dir/core/test_anomaly.cc.o.d"
+  "test_core_anomaly"
+  "test_core_anomaly.pdb"
+  "test_core_anomaly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_auto_reexplorer.dir/core/test_auto_reexplorer.cc.o"
+  "CMakeFiles/test_core_auto_reexplorer.dir/core/test_auto_reexplorer.cc.o.d"
+  "test_core_auto_reexplorer"
+  "test_core_auto_reexplorer.pdb"
+  "test_core_auto_reexplorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_auto_reexplorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

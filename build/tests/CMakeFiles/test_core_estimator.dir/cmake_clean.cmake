@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_estimator.dir/core/test_estimator.cc.o"
+  "CMakeFiles/test_core_estimator.dir/core/test_estimator.cc.o.d"
+  "test_core_estimator"
+  "test_core_estimator.pdb"
+  "test_core_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

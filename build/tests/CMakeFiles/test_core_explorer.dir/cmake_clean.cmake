@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_explorer.dir/core/test_explorer.cc.o"
+  "CMakeFiles/test_core_explorer.dir/core/test_explorer.cc.o.d"
+  "test_core_explorer"
+  "test_core_explorer.pdb"
+  "test_core_explorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_manager.dir/core/test_manager.cc.o"
+  "CMakeFiles/test_core_manager.dir/core/test_manager.cc.o.d"
+  "test_core_manager"
+  "test_core_manager.pdb"
+  "test_core_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

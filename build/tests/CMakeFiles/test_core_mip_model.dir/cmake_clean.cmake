@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_mip_model.dir/core/test_mip_model.cc.o"
+  "CMakeFiles/test_core_mip_model.dir/core/test_mip_model.cc.o.d"
+  "test_core_mip_model"
+  "test_core_mip_model.pdb"
+  "test_core_mip_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_mip_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

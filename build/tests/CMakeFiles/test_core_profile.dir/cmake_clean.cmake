@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_profile.dir/core/test_profile.cc.o"
+  "CMakeFiles/test_core_profile.dir/core/test_profile.cc.o.d"
+  "test_core_profile"
+  "test_core_profile.pdb"
+  "test_core_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_profile_io.dir/core/test_profile_io.cc.o"
+  "CMakeFiles/test_core_profile_io.dir/core/test_profile_io.cc.o.d"
+  "test_core_profile_io"
+  "test_core_profile_io.pdb"
+  "test_core_profile_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_profile_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_resource_controller.dir/core/test_resource_controller.cc.o"
+  "CMakeFiles/test_core_resource_controller.dir/core/test_resource_controller.cc.o.d"
+  "test_core_resource_controller"
+  "test_core_resource_controller.pdb"
+  "test_core_resource_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_resource_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

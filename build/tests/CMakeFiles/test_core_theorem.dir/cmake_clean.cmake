@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_theorem.dir/core/test_theorem.cc.o"
+  "CMakeFiles/test_core_theorem.dir/core/test_theorem.cc.o.d"
+  "test_core_theorem"
+  "test_core_theorem.pdb"
+  "test_core_theorem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_theorem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_gbdt.dir/ml/test_gbdt.cc.o"
+  "CMakeFiles/test_ml_gbdt.dir/ml/test_gbdt.cc.o.d"
+  "test_ml_gbdt"
+  "test_ml_gbdt.pdb"
+  "test_ml_gbdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

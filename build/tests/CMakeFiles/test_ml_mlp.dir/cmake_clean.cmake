@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_mlp.dir/ml/test_mlp.cc.o"
+  "CMakeFiles/test_ml_mlp.dir/ml/test_mlp.cc.o.d"
+  "test_ml_mlp"
+  "test_ml_mlp.pdb"
+  "test_ml_mlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

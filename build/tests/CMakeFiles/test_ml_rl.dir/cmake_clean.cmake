@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_rl.dir/ml/test_rl.cc.o"
+  "CMakeFiles/test_ml_rl.dir/ml/test_rl.cc.o.d"
+  "test_ml_rl"
+  "test_ml_rl.pdb"
+  "test_ml_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_chains.dir/sim/test_chains.cc.o"
+  "CMakeFiles/test_sim_chains.dir/sim/test_chains.cc.o.d"
+  "test_sim_chains"
+  "test_sim_chains.pdb"
+  "test_sim_chains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

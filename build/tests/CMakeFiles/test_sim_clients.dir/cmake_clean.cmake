@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_clients.dir/sim/test_clients.cc.o"
+  "CMakeFiles/test_sim_clients.dir/sim/test_clients.cc.o.d"
+  "test_sim_clients"
+  "test_sim_clients.pdb"
+  "test_sim_clients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

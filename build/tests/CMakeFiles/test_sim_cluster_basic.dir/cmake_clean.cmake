@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_cluster_basic.dir/sim/test_cluster_basic.cc.o"
+  "CMakeFiles/test_sim_cluster_basic.dir/sim/test_cluster_basic.cc.o.d"
+  "test_sim_cluster_basic"
+  "test_sim_cluster_basic.pdb"
+  "test_sim_cluster_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_cluster_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

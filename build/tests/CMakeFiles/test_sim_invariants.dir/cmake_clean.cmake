@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_invariants.dir/sim/test_invariants.cc.o"
+  "CMakeFiles/test_sim_invariants.dir/sim/test_invariants.cc.o.d"
+  "test_sim_invariants"
+  "test_sim_invariants.pdb"
+  "test_sim_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_metrics.dir/sim/test_metrics.cc.o"
+  "CMakeFiles/test_sim_metrics.dir/sim/test_metrics.cc.o.d"
+  "test_sim_metrics"
+  "test_sim_metrics.pdb"
+  "test_sim_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

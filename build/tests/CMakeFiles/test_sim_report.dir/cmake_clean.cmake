@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_report.dir/sim/test_report.cc.o"
+  "CMakeFiles/test_sim_report.dir/sim/test_report.cc.o.d"
+  "test_sim_report"
+  "test_sim_report.pdb"
+  "test_sim_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_lp.dir/solver/test_lp.cc.o"
+  "CMakeFiles/test_solver_lp.dir/solver/test_lp.cc.o.d"
+  "test_solver_lp"
+  "test_solver_lp.pdb"
+  "test_solver_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_mip.dir/solver/test_mip.cc.o"
+  "CMakeFiles/test_solver_mip.dir/solver/test_mip.cc.o.d"
+  "test_solver_mip"
+  "test_solver_mip.pdb"
+  "test_solver_mip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_online.dir/stats/test_online.cc.o"
+  "CMakeFiles/test_stats_online.dir/stats/test_online.cc.o.d"
+  "test_stats_online"
+  "test_stats_online.pdb"
+  "test_stats_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

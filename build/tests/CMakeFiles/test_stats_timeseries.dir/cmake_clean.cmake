@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_timeseries.dir/stats/test_timeseries.cc.o"
+  "CMakeFiles/test_stats_timeseries.dir/stats/test_timeseries.cc.o.d"
+  "test_stats_timeseries"
+  "test_stats_timeseries.pdb"
+  "test_stats_timeseries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_welch.dir/stats/test_welch.cc.o"
+  "CMakeFiles/test_stats_welch.dir/stats/test_welch.cc.o.d"
+  "test_stats_welch"
+  "test_stats_welch.pdb"
+  "test_stats_welch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_welch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_arrival.dir/workload/test_arrival.cc.o"
+  "CMakeFiles/test_workload_arrival.dir/workload/test_arrival.cc.o.d"
+  "test_workload_arrival"
+  "test_workload_arrival.pdb"
+  "test_workload_arrival[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_trace.dir/workload/test_trace.cc.o"
+  "CMakeFiles/test_workload_trace.dir/workload/test_trace.cc.o.d"
+  "test_workload_trace"
+  "test_workload_trace.pdb"
+  "test_workload_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
