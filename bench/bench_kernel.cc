@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DES-kernel throughput microbenchmark: drives the canonical
+ * social-network application with the open-loop Poisson client for a
+ * fixed span of simulated time and reports raw kernel throughput —
+ * events/sec and requests/sec of wall-clock time. This is the number
+ * the event-queue fast path (SBO callbacks, move-pop, object pools) is
+ * judged by; results land in BENCH_kernel.json.
+ *
+ * Environment:
+ *   URSA_BENCH_REPS     repetitions (default 5; best rep is reported)
+ *   URSA_BENCH_SIM_MIN  simulated minutes per rep (default 10)
+ *   URSA_BENCH_OUT      output JSON path (default BENCH_kernel.json)
+ */
+
+#include "common.h"
+
+#include "sim/client.h"
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace
+{
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atol(v) : fallback;
+}
+
+struct RunResult
+{
+    double wallSec = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t requests = 0;
+
+    double eventsPerSec() const { return events / wallSec; }
+    double requestsPerSec() const { return requests / wallSec; }
+};
+
+RunResult
+runOnce(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
+        std::uint64_t seed)
+{
+    using namespace ursa;
+    sim::Cluster cluster(seed);
+    app.instantiate(cluster);
+    sim::OpenLoopClient client(cluster,
+                               workload::constantRate(app.nominalRps),
+                               sim::fixedMix(app.exploreMix), seed + 5);
+    client.start(0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster.run(simSpan);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    r.events = cluster.events().processed();
+    r.requests = client.submitted();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ursa;
+
+    const long reps = std::max(1L, envLong("URSA_BENCH_REPS", 5));
+    const long simMin = std::max(1L, envLong("URSA_BENCH_SIM_MIN", 10));
+    const char *outEnv = std::getenv("URSA_BENCH_OUT");
+    const std::string outPath = outEnv ? outEnv : "BENCH_kernel.json";
+
+    const apps::AppSpec app = bench::makeApp(bench::AppId::Social);
+    const sim::SimTime simSpan = simMin * sim::kMin;
+
+    std::printf("kernel bench: %s, %ld sim-min x %ld reps\n",
+                app.name.c_str(), simMin, reps);
+
+    RunResult best;
+    for (long i = 0; i < reps; ++i) {
+        const RunResult r = runOnce(app, simSpan, 2024);
+        std::printf(
+            "  rep %ld: %8.3f s wall, %10llu events (%.3fM ev/s), "
+            "%8llu requests (%.1fk req/s)\n",
+            i, r.wallSec, static_cast<unsigned long long>(r.events),
+            r.eventsPerSec() / 1e6,
+            static_cast<unsigned long long>(r.requests),
+            r.requestsPerSec() / 1e3);
+        if (best.wallSec == 0.0 || r.eventsPerSec() > best.eventsPerSec())
+            best = r;
+    }
+
+    std::printf("best: %.3fM events/s, %.1fk requests/s\n",
+                best.eventsPerSec() / 1e6, best.requestsPerSec() / 1e3);
+
+    std::ofstream out(outPath);
+    out.precision(10);
+    out << "{\n"
+        << "  \"app\": \"" << app.name << "\",\n"
+        << "  \"sim_minutes\": " << simMin << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"events\": " << best.events << ",\n"
+        << "  \"requests\": " << best.requests << ",\n"
+        << "  \"wall_sec\": " << best.wallSec << ",\n"
+        << "  \"events_per_sec\": " << best.eventsPerSec() << ",\n"
+        << "  \"requests_per_sec\": " << best.requestsPerSec() << "\n"
+        << "}\n";
+    if (out)
+        std::printf("wrote %s\n", outPath.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s\n", outPath.c_str());
+    return 0;
+}

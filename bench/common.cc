@@ -4,12 +4,15 @@
 #include "baselines/firm.h"
 #include "core/manager.h"
 #include "core/profile_io.h"
+#include "exec/thread_pool.h"
 #include "sim/client.h"
 #include "workload/arrival.h"
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 namespace ursa::bench
@@ -61,6 +64,27 @@ cellLoad(const apps::AppSpec &app, AppId id, LoadKind load,
     return out;
 }
 
+/**
+ * One mutex per cache path: concurrent grid cells needing the same
+ * cached artifact wait for the first computation instead of racing on
+ * the file (std::map keeps each mutex pinned in place).
+ */
+std::mutex &
+cachePathMutex(const std::string &path)
+{
+    static std::mutex tableMu;
+    static std::map<std::string, std::mutex> table;
+    std::lock_guard<std::mutex> lock(tableMu);
+    return table[path];
+}
+
+core::ExplorationOptions
+explorationFor(const PerfHarnessOptions &opts)
+{
+    return opts.exploration ? *opts.exploration
+                            : paperExploration(opts.seed);
+}
+
 } // namespace
 
 std::string
@@ -90,12 +114,20 @@ core::AppProfile
 cachedProfile(const apps::AppSpec &app, const std::string &tag,
               std::uint64_t seed)
 {
+    return cachedProfile(app, tag, paperExploration(seed));
+}
+
+core::AppProfile
+cachedProfile(const apps::AppSpec &app, const std::string &tag,
+              const core::ExplorationOptions &explore)
+{
     const std::string path = cacheDir() + "/profile_" + tag + ".txt";
+    std::lock_guard<std::mutex> lock(cachePathMutex(path));
     bool ok = false;
     core::AppProfile profile = core::loadAppProfile(path, ok);
     if (ok && profile.services.size() == app.services.size())
         return profile;
-    core::ExplorationController explorer(paperExploration(seed));
+    core::ExplorationController explorer(explore);
     profile = explorer.exploreApp(app);
     core::saveAppProfile(profile, path);
     return profile;
@@ -116,6 +148,7 @@ cachedSinanSamples(const apps::AppSpec &app, const std::string &tag,
                    int count, std::uint64_t seed)
 {
     const std::string path = cacheDir() + "/sinan_" + tag + ".txt";
+    std::lock_guard<std::mutex> lock(cachePathMutex(path));
     // Try the cache.
     {
         std::ifstream in(path);
@@ -143,19 +176,41 @@ cachedSinanSamples(const apps::AppSpec &app, const std::string &tag,
                 return samples;
         }
     }
-    // Collect on a dedicated cluster under the canonical mix.
-    sim::Cluster cluster(seed ^ 0x51a4, 30 * sim::kSec);
-    app.instantiate(cluster);
-    sim::OpenLoopClient client(cluster,
-                               workload::constantRate(app.nominalRps),
-                               sim::fixedMix(app.exploreMix), seed + 5);
-    client.start(0);
-    baselines::SinanCollector collector(cluster, app,
-                                        benchSinanConfig(app, seed));
-    const auto samples = collector.collect(count);
+    // Collect on dedicated clusters under the canonical mix. The
+    // collection is sharded into a FIXED number of independent
+    // timelines (not a function of the thread count), so the sample
+    // set is deterministic for any URSA_THREADS while the shards run
+    // in parallel.
+    const int shards = std::max(1, std::min(count, 8));
+    const int base = count / shards;
+    const int rem = count % shards;
+    const auto parts =
+        exec::parallelMap<std::vector<baselines::SinanSample>>(
+            static_cast<std::size_t>(shards), [&](std::size_t k) {
+                const int cnt =
+                    base + (static_cast<int>(k) < rem ? 1 : 0);
+                if (cnt == 0)
+                    return std::vector<baselines::SinanSample>{};
+                const std::uint64_t shardSeed =
+                    (seed ^ 0x51a4) + 0x9e3779b9ULL * k;
+                sim::Cluster cluster(shardSeed, 30 * sim::kSec);
+                app.instantiate(cluster);
+                sim::OpenLoopClient client(
+                    cluster, workload::constantRate(app.nominalRps),
+                    sim::fixedMix(app.exploreMix), shardSeed + 5);
+                client.start(0);
+                auto cfg = benchSinanConfig(app, seed);
+                cfg.seed += 1000003ULL * k; // per-shard randomization
+                baselines::SinanCollector collector(cluster, app, cfg);
+                return collector.collect(cnt);
+            });
+    std::vector<baselines::SinanSample> samples;
+    samples.reserve(count);
+    for (const auto &part : parts)
+        samples.insert(samples.end(), part.begin(), part.end());
 
     std::ofstream out(path);
-    if (out) {
+    if (out && !samples.empty()) {
         out << samples.size() << ' ' << samples.front().features.size()
             << ' ' << samples.front().latencyRatios.size() << "\n";
         out.precision(17);
@@ -283,7 +338,7 @@ runCell(System system, AppId appId, LoadKind load,
 
     switch (system) {
       case System::Ursa: {
-        const auto profile = cachedProfile(app, tag, opts.seed);
+        const auto profile = cachedProfile(app, tag, explorationFor(opts));
         ursa = std::make_unique<core::UrsaManager>(cluster, app, profile);
         const auto mix =
             cellLoad(app, appId, load, 0, opts.measure).mix;
@@ -410,22 +465,41 @@ performanceGrid(const PerfHarnessOptions &opts)
         }
     }
 
-    for (AppId a : apps) {
-        for (LoadKind l : loads) {
-            for (System s : systems) {
-                GridRow row;
-                row.app = a;
-                row.load = l;
-                row.system = s;
-                row.result = runCell(s, a, l, opts);
-                grid.push_back(row);
-                std::fprintf(stderr, "  [grid] %-14s %-9s %-7s viol=%5.1f%% cpu=%6.1f\n",
-                             toString(a), toString(l), toString(s),
-                             100.0 * row.result.violationRate,
-                             row.result.cpuCores);
-            }
-        }
-    }
+    // Warm the per-app caches first (profile for Ursa, samples for
+    // Sinan) so the grid cells below only read them; each app's two
+    // artifacts are independent units of work.
+    exec::parallelFor(apps.size() * 2, [&](std::size_t i) {
+        const AppId id = apps[i / 2];
+        const apps::AppSpec app = makeApp(id);
+        if (i % 2 == 0)
+            cachedProfile(app, toString(id), explorationFor(opts));
+        else
+            cachedSinanSamples(app, toString(id), opts.sinanSamples,
+                               opts.seed);
+    });
+
+    // The 100 cells are independent simulations; fan them out. Each
+    // cell owns its cluster and derives every seed from (system, app,
+    // load), so the grid is bit-identical for any thread count.
+    const std::size_t cells =
+        apps.size() * loads.size() * systems.size();
+    grid = exec::parallelMap<GridRow>(cells, [&](std::size_t idx) {
+        const AppId a = apps[idx / (loads.size() * systems.size())];
+        const LoadKind l =
+            loads[idx / systems.size() % loads.size()];
+        const System s = systems[idx % systems.size()];
+        GridRow row;
+        row.app = a;
+        row.load = l;
+        row.system = s;
+        row.result = runCell(s, a, l, opts);
+        std::fprintf(stderr,
+                     "  [grid] %-14s %-9s %-7s viol=%5.1f%% cpu=%6.1f\n",
+                     toString(a), toString(l), toString(s),
+                     100.0 * row.result.violationRate,
+                     row.result.cpuCores);
+        return row;
+    });
 
     std::ofstream out(path);
     if (out) {

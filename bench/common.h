@@ -18,6 +18,7 @@
 #include "core/explorer.h"
 #include "core/profile.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,10 +33,16 @@ core::ExplorationOptions paperExploration(std::uint64_t seed);
 
 /**
  * Exploration profile for an app, loaded from cache or computed (and
- * cached). `tag` names the cache entry.
+ * cached). `tag` names the cache entry. Thread-safe: concurrent calls
+ * for the same tag compute the profile once.
  */
 core::AppProfile cachedProfile(const apps::AppSpec &app,
                                const std::string &tag, std::uint64_t seed);
+
+/** Same, with explicit exploration settings instead of paper scale. */
+core::AppProfile cachedProfile(const apps::AppSpec &app,
+                               const std::string &tag,
+                               const core::ExplorationOptions &explore);
 
 /** Sinan config used across benches. */
 baselines::SinanConfig benchSinanConfig(const apps::AppSpec &app,
@@ -106,6 +113,12 @@ struct PerfHarnessOptions
      * bench for the prescription vs what we run here). */
     int sinanSamples = 500;
     std::uint64_t seed = 2024;
+    /**
+     * Exploration settings behind Ursa's cached profile; unset means
+     * paperExploration(seed). The determinism regression test dials
+     * this down to keep a full grid run cheap.
+     */
+    std::optional<core::ExplorationOptions> exploration;
 };
 
 /**
@@ -118,7 +131,9 @@ CellResult runCell(System system, AppId app, LoadKind load,
 /**
  * All cells of the Fig. 11/12 grid, cached on disk so the two bench
  * binaries don't re-simulate. Row order: app-major, then load, then
- * system.
+ * system. Cells are independent simulations and run on the ursa::exec
+ * pool (URSA_THREADS ways); the result is bit-identical for any
+ * thread count.
  */
 struct GridRow
 {

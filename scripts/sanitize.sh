@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Build and run the parallel-execution test suite under a sanitizer.
+#
+# Usage:
+#   scripts/sanitize.sh [thread|address|undefined]
+#
+# Defaults to ThreadSanitizer, which is the interesting one for the
+# ursa::exec layer: the per-unit ownership model (each parallel index
+# owns its own Cluster) means the pool itself is the only shared
+# mutable state, and TSan over these tests exercises every
+# synchronization edge in src/exec/thread_pool.cc plus the parallel
+# callers in src/core/explorer.cc and bench/common.cc.
+#
+# The sanitized tree lives in build-<sanitizer>/ so it never disturbs
+# the primary build/ directory.
+
+set -euo pipefail
+
+SAN="${1:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SAN"
+
+cmake -B "$BUILD" -S "$ROOT" -DURSA_SANITIZE="$SAN" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+# The parallel paths and the kernel they drive. test_bench_grid_*
+# is the heaviest; keep it last so the cheap ones fail fast.
+TARGETS=(
+    test_exec_thread_pool
+    test_sim_event_queue
+    test_core_parallel_determinism
+    test_bench_grid_determinism
+)
+
+cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
+
+for t in "${TARGETS[@]}"; do
+    echo "== $SAN :: $t =="
+    "$BUILD/tests/$t"
+done
+
+echo "All sanitizer ($SAN) runs passed."

@@ -1,6 +1,7 @@
 #include "core/explorer.h"
 
 #include "core/harness.h"
+#include "exec/thread_pool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -119,8 +120,12 @@ ExplorationController::exploreService(const apps::AppSpec &app,
                                                   static_cast<int>(c))
                                      .collect(warmup, levelSpan);
             level.latency[c].reserve(grid.size());
+            // A low-rate class can see zero arrivals within a short
+            // level span; record zero latency (no observed load, which
+            // matches loadPerReplica above) instead of throwing.
             for (double p : grid)
-                level.latency[c].push_back(samples.percentile(p));
+                level.latency[c].push_back(
+                    samples.empty() ? 0.0 : samples.percentile(p));
         }
         profile.levels.push_back(std::move(level));
 
@@ -132,20 +137,25 @@ ExplorationController::exploreService(const apps::AppSpec &app,
 AppProfile
 ExplorationController::exploreApp(const apps::AppSpec &app) const
 {
+    // Per-service explorations are embarrassingly parallel (Sec. VII-C:
+    // wall-clock time is the max, not the sum). Each index builds its
+    // own harness clusters with index-derived seeds, so the profile is
+    // bit-identical to the serial run for any URSA_THREADS.
     AppProfile profile;
-    for (std::size_t s = 0; s < app.services.size(); ++s) {
-        const std::vector<double> rates =
-            localRates(app, static_cast<int>(s));
-        double bpThreshold = 1.0;
-        if (!app.services[s].mqConsumer) {
-            const BpProfileResult bp = profileBackpressureThreshold(
-                app, static_cast<int>(s), rates,
-                opts_.seed + 31ULL * (s + 1), opts_.bpOptions);
-            bpThreshold = bp.threshold;
-        }
-        profile.services.push_back(exploreService(
-            app, static_cast<int>(s), bpThreshold, rates, profile.grid));
-    }
+    profile.services = exec::parallelMap<ServiceProfile>(
+        app.services.size(), [&](std::size_t s) {
+            const std::vector<double> rates =
+                localRates(app, static_cast<int>(s));
+            double bpThreshold = 1.0;
+            if (!app.services[s].mqConsumer) {
+                const BpProfileResult bp = profileBackpressureThreshold(
+                    app, static_cast<int>(s), rates,
+                    opts_.seed + 31ULL * (s + 1), opts_.bpOptions);
+                bpThreshold = bp.threshold;
+            }
+            return exploreService(app, static_cast<int>(s), bpThreshold,
+                                  rates, profile.grid);
+        });
     return profile;
 }
 

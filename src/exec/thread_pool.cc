@@ -1,0 +1,180 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace ursa::exec
+{
+
+namespace
+{
+
+std::atomic<int> g_threads{0};
+
+int
+threadsFromEnv()
+{
+    if (const char *v = std::getenv("URSA_THREADS")) {
+        const int n = std::atoi(v);
+        if (n >= 1)
+            return n;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc ? static_cast<int>(hc) : 1;
+}
+
+} // namespace
+
+int
+threadCount()
+{
+    int t = g_threads.load(std::memory_order_relaxed);
+    if (t == 0) {
+        t = threadsFromEnv();
+        g_threads.store(t, std::memory_order_relaxed);
+    }
+    return t;
+}
+
+void
+setThreadCount(int n)
+{
+    g_threads.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::ensureWorkers(int n)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(threads_.size()) < n)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+int
+ThreadPool::workers() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+namespace
+{
+
+/** Shared progress of one parallelFor call. */
+struct LoopState
+{
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+
+    /**
+     * Claim and run indices until none are left. Safe to call from
+     * stale pool tasks after the loop finished: `next` only grows, so
+     * late claims see i >= n and never touch `body`.
+     */
+    void
+    drain()
+    {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!error)
+                    error = std::current_exception();
+            }
+            if (done.fetch_add(1) + 1 == n) {
+                std::lock_guard<std::mutex> lock(mu); // pairs with wait
+                cv.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t k =
+        std::min<std::size_t>(n, static_cast<std::size_t>(threadCount()));
+    if (k <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto st = std::make_shared<LoopState>();
+    st->n = n;
+    st->body = &body;
+
+    ThreadPool &pool = ThreadPool::global();
+    pool.ensureWorkers(static_cast<int>(k) - 1);
+    for (std::size_t t = 0; t + 1 < k; ++t)
+        pool.post([st] { st->drain(); });
+
+    st->drain(); // the caller participates
+
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&] { return st->done.load() == n; });
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+} // namespace ursa::exec

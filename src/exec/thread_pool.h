@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ursa::exec — the parallel execution layer for independent
+ * simulations. A deliberately simple, work-stealing-free thread pool
+ * plus `parallelFor` / `parallelMap` primitives built on dynamic index
+ * claiming with caller participation.
+ *
+ * Determinism contract: a parallel unit (one index of a parallelFor)
+ * must own all of its mutable state — its own Cluster, its own RNG
+ * seeded from the index — and write results only into its own slot.
+ * Under that contract results are bit-identical to the serial run for
+ * any thread count, because thread scheduling only decides *who* runs
+ * an index, never *what* the index computes.
+ *
+ * `URSA_THREADS` (default: hardware concurrency) sets the effective
+ * parallelism; `setThreadCount` overrides it programmatically (used by
+ * the determinism regression tests). Nested parallelFor calls are safe:
+ * the caller always participates in its own loop and completion is
+ * tracked per index, not per pool task, so a loop can finish even when
+ * every pool worker is busy elsewhere.
+ */
+
+#ifndef URSA_EXEC_THREAD_POOL_H
+#define URSA_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ursa::exec
+{
+
+/**
+ * Effective parallelism: `URSA_THREADS` if set (>= 1), else hardware
+ * concurrency. Read once, then cached; setThreadCount overrides.
+ */
+int threadCount();
+
+/** Override the effective parallelism (n >= 1). */
+void setThreadCount(int n);
+
+/** Shared worker pool; grows on demand up to the requested size. */
+class ThreadPool
+{
+  public:
+    /** The process-wide pool used by parallelFor/parallelMap. */
+    static ThreadPool &global();
+
+    ~ThreadPool();
+
+    /** Ensure at least `n` worker threads exist. */
+    void ensureWorkers(int n);
+
+    /** Enqueue a task for any worker. */
+    void post(std::function<void()> task);
+
+    int workers() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+};
+
+/**
+ * Run `body(i)` for every i in [0, n), using up to threadCount()
+ * threads (the caller participates). Blocks until every index has
+ * completed. The first exception thrown by any index is rethrown in
+ * the caller after the loop drains. With threadCount() == 1 the loop
+ * runs serially, in order, on the calling thread.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * Parallel map: out[i] = fn(i) for i in [0, n), same execution model
+ * as parallelFor. T must be default-constructible and movable.
+ */
+template <typename T, typename F>
+std::vector<T>
+parallelMap(std::size_t n, F &&fn)
+{
+    std::vector<T> out(n);
+    parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace ursa::exec
+
+#endif // URSA_EXEC_THREAD_POOL_H

@@ -123,7 +123,7 @@ Cluster::submit(ClassId c)
     if (!finalized_)
         throw std::logic_error("submit before finalize");
     const RequestClassSpec &spec = classes_.at(c);
-    auto req = std::make_shared<Request>();
+    auto req = std::allocate_shared<Request>(PoolAllocator<Request>(pool_));
     req->id = nextRequestId_++;
     req->classId = c;
     req->priority = spec.priority;
@@ -145,9 +145,8 @@ Cluster::submit(ClassId c)
     return req;
 }
 
-void
-Cluster::invoke(ServiceId target, const RequestPtr &req,
-                std::function<void()> onSyncDone)
+InvocationPtr
+Cluster::makeInvocation(ServiceId target, const RequestPtr &req)
 {
     Service &svc = *services_.at(target);
     const auto bit = svc.config().behaviors.find(req->classId);
@@ -156,36 +155,34 @@ Cluster::invoke(ServiceId target, const RequestPtr &req,
                                " has no behavior for class " +
                                classes_.at(req->classId).name);
     }
-    auto inv = std::make_shared<Invocation>();
+    auto inv = std::allocate_shared<Invocation>(
+        PoolAllocator<Invocation>(pool_));
     inv->req = req;
     inv->serviceId = target;
     inv->behavior = &bit->second;
     inv->targets = &resolved_.at(target).at(req->classId);
     inv->arrival = events_.now();
+    return inv;
+}
+
+void
+Cluster::invoke(ServiceId target, const RequestPtr &req,
+                EventQueue::Callback onSyncDone)
+{
+    InvocationPtr inv = makeInvocation(target, req);
     inv->onSyncDone = std::move(onSyncDone);
     metrics_.recordArrival(target, req->classId, events_.now());
-    svc.dispatch(std::move(inv));
+    services_.at(target)->dispatch(std::move(inv));
 }
 
 void
 Cluster::publishTo(ServiceId target, const RequestPtr &req)
 {
-    Service &svc = *services_.at(target);
-    const auto bit = svc.config().behaviors.find(req->classId);
-    if (bit == svc.config().behaviors.end()) {
-        throw std::logic_error("MQ service " + svc.config().name +
-                               " has no behavior for class " +
-                               classes_.at(req->classId).name);
-    }
-    auto inv = std::make_shared<Invocation>();
-    inv->req = req;
-    inv->serviceId = target;
-    inv->behavior = &bit->second;
-    inv->targets = &resolved_.at(target).at(req->classId);
-    inv->arrival = events_.now(); // queue wait counts toward the tier
+    // Queue wait counts toward the tier, so arrival is at publish time.
+    InvocationPtr inv = makeInvocation(target, req);
     inv->onSyncDone = [this, req] { asyncBranchDone(req); };
     metrics_.recordArrival(target, req->classId, events_.now());
-    svc.publish(std::move(inv));
+    services_.at(target)->publish(std::move(inv));
 }
 
 void

@@ -15,6 +15,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
+#include "sim/pool.h"
 #include "sim/service.h"
 #include "sim/time.h"
 #include "sim/types.h"
@@ -88,7 +89,7 @@ class Cluster
 
     /** Invoke `target` for `req`; `onSyncDone` resumes the caller. */
     void invoke(ServiceId target, const RequestPtr &req,
-                std::function<void()> onSyncDone);
+                EventQueue::Callback onSyncDone);
 
     /** Publish `req` onto `target`'s message queue (async branch). */
     void publishTo(ServiceId target, const RequestPtr &req);
@@ -109,8 +110,11 @@ class Cluster
   private:
     void samplerTick();
     void maybeFinishRequest(const RequestPtr &req);
+    InvocationPtr makeInvocation(ServiceId target, const RequestPtr &req);
 
     EventQueue events_;
+    /// Freelist arena recycling Request/Invocation nodes (hot path).
+    std::shared_ptr<PoolArena> pool_ = std::make_shared<PoolArena>();
     stats::Rng rng_;
     MetricsRegistry metrics_;
     std::vector<std::unique_ptr<Service>> services_;

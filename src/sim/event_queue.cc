@@ -11,7 +11,19 @@ EventQueue::schedule(SimTime at, Callback fn)
 {
     if (at < now_)
         throw std::logic_error("scheduling an event in the past");
-    heap_.push({at, seq_++, std::move(fn)});
+    Entry e{at, seq_++, std::move(fn)};
+    // Hole-based sift-up: parents slide down until e's slot is found,
+    // so each level costs one entry move instead of a swap.
+    heap_.emplace_back();
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (earlier(heap_[parent], e))
+            break;
+        heap_[i] = std::move(heap_[parent]);
+        i = parent;
+    }
+    heap_[i] = std::move(e);
 }
 
 void
@@ -22,16 +34,39 @@ EventQueue::scheduleIn(SimTime delay, Callback fn)
     schedule(now_ + delay, std::move(fn));
 }
 
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = std::move(heap_.front());
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        // Hole-based sift-down: the smaller child slides up until
+        // `last` fits, again one move per level.
+        std::size_t i = 0;
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && earlier(heap_[child + 1], heap_[child]))
+                ++child;
+            if (!earlier(heap_[child], last))
+                break;
+            heap_[i] = std::move(heap_[child]);
+            i = child;
+        }
+        heap_[i] = std::move(last);
+    }
+    return top;
+}
+
 bool
 EventQueue::runNext()
 {
     if (heap_.empty())
         return false;
-    // std::priority_queue::top() is const; the Entry must be copied or
-    // moved out before pop. Move via const_cast is safe here because
-    // the entry is popped immediately.
-    Entry e = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
+    Entry e = popTop();
     now_ = e.at;
     ++processed_;
     e.fn();
@@ -41,8 +76,12 @@ EventQueue::runNext()
 void
 EventQueue::runUntil(SimTime until)
 {
-    while (!heap_.empty() && heap_.top().at <= until)
-        runNext();
+    while (!heap_.empty() && heap_.front().at <= until) {
+        Entry e = popTop();
+        now_ = e.at;
+        ++processed_;
+        e.fn();
+    }
     if (until > now_)
         now_ = until;
 }

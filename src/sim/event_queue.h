@@ -3,16 +3,20 @@
  * The discrete-event kernel: a time-ordered queue of callbacks with a
  * monotone clock. Ties are broken by insertion order so the simulation
  * is fully deterministic.
+ *
+ * Fast path: entries hold a small-buffer-optimized move-only callback
+ * (InlineCallback) instead of a `std::function`, the heap is a
+ * hand-rolled binary min-heap whose sifts move entries through a hole
+ * (no swaps, no copies), and the top entry is moved out on pop.
  */
 
 #ifndef URSA_SIM_EVENT_QUEUE_H
 #define URSA_SIM_EVENT_QUEUE_H
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 namespace ursa::sim
@@ -22,7 +26,7 @@ namespace ursa::sim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -57,25 +61,28 @@ class EventQueue
   private:
     struct Entry
     {
-        SimTime at;
-        std::uint64_t seq;
+        SimTime at = 0;
+        std::uint64_t seq = 0;
         Callback fn;
     };
-    struct Later
+
+    /** Strict total order: earlier time first, then insertion order. */
+    static bool
+    earlier(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.at != b.at)
-                return a.at > b.at;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.at != b.at)
+            return a.at < b.at;
+        return a.seq < b.seq;
+    }
+
+    /** Move the minimum entry out of the heap and restore heap order. */
+    Entry popTop();
 
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t processed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /// Binary min-heap ordered by `earlier`; heap_[0] is the minimum.
+    std::vector<Entry> heap_;
 };
 
 } // namespace ursa::sim

@@ -9,10 +9,10 @@
 #ifndef URSA_SIM_INVOCATION_H
 #define URSA_SIM_INVOCATION_H
 
+#include "sim/callback.h"
 #include "sim/time.h"
 #include "sim/types.h"
 
-#include <functional>
 #include <memory>
 
 namespace ursa::sim
@@ -46,7 +46,7 @@ struct Invocation : std::enable_shared_from_this<Invocation>
 
     /// Continuation: resume the parent (nested RPC) or complete the
     /// async branch (MQ / event-driven) or answer the client (root).
-    std::function<void()> onSyncDone;
+    InlineCallback onSyncDone;
 };
 
 using InvocationPtr = std::shared_ptr<Invocation>;

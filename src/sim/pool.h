@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A size-bucketed freelist arena and a matching std allocator, used via
+ * `std::allocate_shared` to recycle the control-block+object nodes of
+ * Request and Invocation — the two allocations made per submit/invoke
+ * on the kernel's hot path. After warm-up the path is malloc-free.
+ *
+ * The arena is single-threaded by design: each Cluster owns one and
+ * every allocation/deallocation happens on the thread driving that
+ * cluster's event loop. Allocators keep the arena alive via shared_ptr
+ * (a shared_ptr<Request> may legitimately outlive its Cluster).
+ */
+
+#ifndef URSA_SIM_POOL_H
+#define URSA_SIM_POOL_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ursa::sim
+{
+
+/** Freelist arena with 64-byte size classes up to 512 bytes. */
+class PoolArena
+{
+  public:
+    PoolArena() = default;
+    PoolArena(const PoolArena &) = delete;
+    PoolArena &operator=(const PoolArena &) = delete;
+
+    ~PoolArena()
+    {
+        for (auto &bucket : free_)
+            for (void *p : bucket)
+                ::operator delete(p);
+    }
+
+    void *
+    allocate(std::size_t bytes)
+    {
+        if (bytes == 0 || bytes > kMaxBlock)
+            return ::operator new(bytes);
+        auto &bucket = free_[classOf(bytes)];
+        if (!bucket.empty()) {
+            void *p = bucket.back();
+            bucket.pop_back();
+            return p;
+        }
+        return ::operator new((classOf(bytes) + 1) * kGranularity);
+    }
+
+    void
+    deallocate(void *p, std::size_t bytes) noexcept
+    {
+        if (bytes == 0 || bytes > kMaxBlock) {
+            ::operator delete(p);
+            return;
+        }
+        free_[classOf(bytes)].push_back(p);
+    }
+
+  private:
+    static constexpr std::size_t kGranularity = 64;
+    static constexpr std::size_t kMaxBlock = 512;
+
+    static std::size_t
+    classOf(std::size_t bytes)
+    {
+        return (bytes - 1) / kGranularity;
+    }
+
+    std::vector<void *> free_[kMaxBlock / kGranularity];
+};
+
+/** std allocator over a shared PoolArena (for allocate_shared). */
+template <typename T>
+struct PoolAllocator
+{
+    using value_type = T;
+
+    explicit PoolAllocator(std::shared_ptr<PoolArena> a)
+        : arena(std::move(a))
+    {
+    }
+
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U> &other) : arena(other.arena)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1 && alignof(T) <= alignof(std::max_align_t))
+            return static_cast<T *>(arena->allocate(sizeof(T)));
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        if (n == 1 && alignof(T) <= alignof(std::max_align_t))
+            arena->deallocate(p, sizeof(T));
+        else
+            ::operator delete(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAllocator<U> &other) const
+    {
+        return arena == other.arena;
+    }
+
+    std::shared_ptr<PoolArena> arena;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_POOL_H

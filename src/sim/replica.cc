@@ -233,7 +233,7 @@ Replica::releaseWorker()
 }
 
 void
-Replica::daemonSubmit(std::function<void()> task)
+Replica::daemonSubmit(InlineCallback task)
 {
     if (busyDaemons_ < daemonThreads_) {
         ++busyDaemons_;
@@ -301,7 +301,7 @@ Replica::drained() const
 // --- processor-sharing CPU engine -----------------------------------
 
 void
-Replica::cpuSubmit(double workCoreUs, std::function<void()> done)
+Replica::cpuSubmit(double workCoreUs, InlineCallback done)
 {
     cpuSync();
     jobs_.push_back({std::max(workCoreUs, kWorkEps), std::move(done)});
@@ -351,7 +351,7 @@ Replica::onCpuEvent(std::uint64_t gen)
         return; // superseded by a newer schedule
     cpuSync();
     // Collect finished jobs first: their callbacks may submit new work.
-    std::vector<std::function<void()>> finished;
+    std::vector<InlineCallback> finished;
     for (auto it = jobs_.begin(); it != jobs_.end();) {
         if (it->remaining <= kWorkEps) {
             finished.push_back(std::move(it->done));

@@ -98,11 +98,11 @@ class Replica
     void advance(const InvocationPtr &inv);
     void finish(const InvocationPtr &inv);
     void releaseWorker();
-    void daemonSubmit(std::function<void()> task);
+    void daemonSubmit(InlineCallback task);
     void daemonRelease();
 
     // --- processor-sharing CPU engine ---
-    void cpuSubmit(double workCoreUs, std::function<void()> done);
+    void cpuSubmit(double workCoreUs, InlineCallback done);
     void cpuSync();
     void cpuReschedule();
     void onCpuEvent(std::uint64_t gen);
@@ -118,13 +118,13 @@ class Replica
     int busyWorkers_ = 0;
     int busyDaemons_ = 0;
     std::deque<InvocationPtr> pending_;
-    std::deque<std::function<void()>> daemonPending_;
+    std::deque<InlineCallback> daemonPending_;
     bool draining_ = false;
 
     struct CpuJob
     {
         double remaining; ///< core-us of work left
-        std::function<void()> done;
+        InlineCallback done;
     };
     std::vector<CpuJob> jobs_;
     SimTime lastSync_ = 0;

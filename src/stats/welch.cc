@@ -57,6 +57,22 @@ betaContinuedFraction(double a, double b, double x)
     return h;
 }
 
+/**
+ * Thread-safe ln|Gamma(x)|: glibc's lgamma() writes the process-global
+ * `signgam`, which races under parallel exploration. All arguments
+ * here are positive, so the sign output is irrelevant.
+ */
+double
+lnGamma(double x)
+{
+#if defined(__GLIBC__) || defined(_REENTRANT)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
 } // namespace
 
 double
@@ -67,9 +83,8 @@ incompleteBeta(double a, double b, double x)
         return 0.0;
     if (x >= 1.0)
         return 1.0;
-    const double lnBeta = std::lgamma(a + b) - std::lgamma(a) -
-                          std::lgamma(b) + a * std::log(x) +
-                          b * std::log(1.0 - x);
+    const double lnBeta = lnGamma(a + b) - lnGamma(a) - lnGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
     const double front = std::exp(lnBeta);
     // Use the continued fraction directly for x < (a+1)/(a+b+2),
     // else use the symmetry relation.

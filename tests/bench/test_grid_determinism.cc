@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Determinism regression for the Fig. 11/12 deployment grid: a full
+ * (scaled-down) performanceGrid run must be bit-identical with
+ * URSA_THREADS=1 and URSA_THREADS=8, including the on-disk CSV cache.
+ * Every cell owns its cluster and derives all seeds from (system, app,
+ * load), so thread scheduling must not leak into results.
+ */
+
+#include "common.h"
+
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::bench;
+
+PerfHarnessOptions
+tinyOptions()
+{
+    PerfHarnessOptions opts;
+    opts.warmup = 30 * sim::kSec;
+    opts.measure = 2 * sim::kMin;
+    opts.firmTrainSteps = 8;
+    opts.sinanSamples = 16;
+    opts.seed = 7;
+    core::ExplorationOptions explore;
+    explore.window = 5 * sim::kSec;
+    explore.windowsPerLevel = 2;
+    explore.seed = opts.seed;
+    explore.bpOptions.stepDuration = 10 * sim::kSec;
+    explore.bpOptions.sampleWindow = 2 * sim::kSec;
+    explore.bpOptions.maxSteps = 3;
+    opts.exploration = explore;
+    return opts;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Drop the trailing decision_us column from each CSV line: it is a
+ * wall-clock measurement of the host solver (Table 6), not simulation
+ * output, so it legitimately varies run to run.
+ */
+std::string
+stripDecisionColumn(const std::string &csv)
+{
+    std::istringstream in(csv);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto cut = line.rfind(',');
+        out << (cut == std::string::npos ? line : line.substr(0, cut))
+            << '\n';
+    }
+    return out.str();
+}
+
+/** Run the full grid in a fresh cache dir; return the CSV cache bytes. */
+std::string
+gridBytes(int threads, const std::string &cacheDir,
+          std::vector<GridRow> &rows)
+{
+    namespace fs = std::filesystem;
+    fs::remove_all(cacheDir);
+    setenv("URSA_CACHE_DIR", cacheDir.c_str(), 1);
+    exec::setThreadCount(threads);
+    const PerfHarnessOptions opts = tinyOptions();
+    rows = performanceGrid(opts);
+    const std::string csv =
+        cacheDir + "/perf_grid_" + std::to_string(opts.seed) + "_" +
+        std::to_string(opts.measure / sim::kMin) + ".csv";
+    return slurp(csv);
+}
+
+TEST(GridDeterminism, GridIdenticalAcrossThreadCounts)
+{
+    namespace fs = std::filesystem;
+    const std::string base =
+        fs::temp_directory_path() / "ursa_grid_determinism";
+    const int saved = exec::threadCount();
+
+    std::vector<GridRow> serialRows, parallelRows;
+    const std::string serial = gridBytes(1, base + "_t1", serialRows);
+    const std::string parallel = gridBytes(8, base + "_t8", parallelRows);
+
+    exec::setThreadCount(saved);
+    unsetenv("URSA_CACHE_DIR");
+
+    ASSERT_FALSE(serial.empty());
+    // Byte-identical caches, modulo the wall-clock decision_us column.
+    EXPECT_EQ(stripDecisionColumn(serial), stripDecisionColumn(parallel));
+
+    ASSERT_EQ(serialRows.size(), parallelRows.size());
+    ASSERT_EQ(serialRows.size(), 100u); // 4 apps x 5 loads x 5 systems
+    for (std::size_t i = 0; i < serialRows.size(); ++i) {
+        EXPECT_EQ(serialRows[i].app, parallelRows[i].app);
+        EXPECT_EQ(serialRows[i].load, parallelRows[i].load);
+        EXPECT_EQ(serialRows[i].system, parallelRows[i].system);
+        EXPECT_EQ(serialRows[i].result.violationRate,
+                  parallelRows[i].result.violationRate);
+        EXPECT_EQ(serialRows[i].result.cpuCores,
+                  parallelRows[i].result.cpuCores);
+        // decisionLatencyUs is deliberately not compared: it times the
+        // host's solver wall clock, not the simulation.
+    }
+
+    fs::remove_all(base + "_t1");
+    fs::remove_all(base + "_t8");
+}
+
+} // namespace

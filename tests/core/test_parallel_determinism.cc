@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regression tests for the parallel execution layer's determinism
+ * contract: exploreApp must produce byte-identical profiles for any
+ * URSA_THREADS setting and across repeated runs with the same seed,
+ * because every parallel unit owns its own Cluster and seeds.
+ */
+
+#include "core/explorer.h"
+#include "core/profile_io.h"
+#include "exec/thread_pool.h"
+
+#include "toy_app.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::core;
+using sim::kSec;
+
+ExplorationOptions
+fastOptions()
+{
+    ExplorationOptions opts;
+    opts.window = 10 * kSec;
+    opts.windowsPerLevel = 5;
+    opts.seed = 5;
+    opts.bpOptions.stepDuration = 40 * kSec;
+    opts.bpOptions.sampleWindow = 5 * kSec;
+    opts.bpOptions.maxSteps = 10;
+    return opts;
+}
+
+std::string
+exploredBytes(int threads)
+{
+    exec::setThreadCount(threads);
+    ExplorationController ctl(fastOptions());
+    const AppProfile profile = ctl.exploreApp(tests::makeToyApp());
+    std::ostringstream out;
+    saveAppProfile(profile, out);
+    return out.str();
+}
+
+class ExploreDeterminism : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = exec::threadCount(); }
+    void TearDown() override { exec::setThreadCount(saved_); }
+
+  private:
+    int saved_ = 1;
+};
+
+TEST_F(ExploreDeterminism, ProfileIdenticalAcrossThreadCounts)
+{
+    const std::string serial = exploredBytes(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, exploredBytes(8));
+    EXPECT_EQ(serial, exploredBytes(3));
+}
+
+TEST_F(ExploreDeterminism, ProfileIdenticalAcrossRepeatedRuns)
+{
+    EXPECT_EQ(exploredBytes(8), exploredBytes(8));
+}
+
+} // namespace

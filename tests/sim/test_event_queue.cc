@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace
@@ -92,6 +96,77 @@ TEST(EventQueue, RunNextReturnsFalseWhenEmpty)
 {
     EventQueue q;
     EXPECT_FALSE(q.runNext());
+}
+
+// The equal-time FIFO guarantee must survive arbitrary heap churn:
+// interleave schedules and pops so entries move through many sift-up /
+// sift-down paths, and check the full execution order against the
+// (time, insertion) reference order.
+TEST(EventQueue, FifoTieBreakSurvivesHeapChurn)
+{
+    EventQueue q;
+    std::vector<std::pair<SimTime, int>> fired;
+    int nextId = 0;
+    std::vector<std::pair<SimTime, int>> expected;
+
+    // Deterministic pseudo-random times with many collisions: each
+    // round draws from 8 slots, and rounds use disjoint time bases so
+    // mid-stream pops never advance the clock past a later schedule.
+    unsigned long long x = 12345;
+    auto nextTime = [&](int round) -> SimTime {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<SimTime>(100 * (round + 1) + (x >> 33) % 8);
+    };
+
+    for (int round = 0; round < 50; ++round) {
+        for (int k = 0; k < 7; ++k) {
+            const SimTime at = nextTime(round);
+            const int id = nextId++;
+            expected.emplace_back(at, id);
+            q.schedule(at, [&fired, at, id] { fired.emplace_back(at, id); });
+        }
+        // Pop a few mid-stream so later inserts sift through a
+        // restructured heap.
+        q.runNext();
+        q.runNext();
+    }
+    q.runUntil(100000);
+
+    // Reference order: by time, then insertion order (stable).
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(q.processed(), expected.size());
+}
+
+TEST(EventQueue, MoveOnlyCallbacksAndHeapFallback)
+{
+    EventQueue q;
+    int fired = 0;
+    // Move-only capture (unique_ptr): must compile and run exactly once.
+    auto p = std::make_unique<int>(7);
+    q.schedule(10, [&fired, p = std::move(p)] { fired += *p; });
+    // Capture larger than the 48-byte inline buffer: heap fallback.
+    std::array<long long, 16> big{};
+    big[15] = 35;
+    q.schedule(20, [&fired, big] { fired += static_cast<int>(big[15]); });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 42);
+}
+
+TEST(EventQueue, PopReleasesCallbackState)
+{
+    // runNext must move the entry out of the heap: the shared capture
+    // is released as soon as the event has run, not when the queue
+    // drains or is destroyed.
+    EventQueue q;
+    auto token = std::make_shared<int>(1);
+    q.schedule(10, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    q.runNext();
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 } // namespace
