@@ -333,6 +333,10 @@ runCell(System system, AppId appId, LoadKind load,
     std::unique_ptr<baselines::SinanModel> sinanModel;
     std::unique_ptr<baselines::SinanScheduler> sinanScheduler;
     std::unique_ptr<baselines::FirmController> firm;
+    // Firm's training client: even stopped, its next-arrival callback
+    // stays queued capturing `this`, so it must outlive every
+    // cluster.run() below — not just its switch case.
+    std::unique_ptr<sim::OpenLoopClient> trainClient;
 
     sim::SimTime measureStart = 0;
 
@@ -378,12 +382,12 @@ runCell(System system, AppId appId, LoadKind load,
         firm = std::make_unique<baselines::FirmController>(cluster, app,
                                                            cfg);
         // Online training under the canonical mix, then deploy.
-        sim::OpenLoopClient trainClient(
+        trainClient = std::make_unique<sim::OpenLoopClient>(
             cluster, workload::constantRate(app.nominalRps),
             sim::fixedMix(app.exploreMix), seed + 11);
-        trainClient.start(0);
+        trainClient->start(0);
         firm->trainOnline(opts.firmTrainSteps);
-        trainClient.stop();
+        trainClient->stop();
         firm->start(cluster.events().now());
         measureStart = cluster.events().now() + opts.warmup;
         break;

@@ -1,0 +1,340 @@
+#!/usr/bin/env python3
+"""Project lint banning nondeterminism and hygiene hazards in src/.
+
+Ursa's evaluation rests on the simulator being bit-deterministic for a
+(topology, workload, seed) triple — across thread counts, platforms and
+reruns. This lint mechanically bans the patterns that historically break
+that property, plus assertion hygiene now that the tree uses the
+ursa::check layer:
+
+  wall-clock       std::chrono::{system,steady,high_resolution}_clock or
+                   C time() in the deterministic layers (src/sim,
+                   src/core, src/stats, src/workload). Simulated time
+                   comes from the event queue; wall time may only be
+                   used for explicitly-annotated overhead measurement
+                   (the paper's Table 6 control-plane numbers).
+  raw-rand         rand()/srand()/std::random_device/std::mt19937 and
+                   friends anywhere outside src/stats/rng.* — every
+                   stochastic draw must flow through the seeded
+                   ursa::stats::Rng.
+  unordered-sim    std::unordered_{map,set} anywhere in src/sim: hash
+                   iteration order is implementation-defined, and any
+                   kernel-side iteration can feed event scheduling.
+  unordered-sched  elsewhere in src/: iterating an unordered container
+                   in a file that also schedules simulation events
+                   (schedule/scheduleIn/submit/invoke/publish calls).
+  bare-assert      assert( outside src/check/ — migrated invariants
+                   must use URSA_CHECK so they stay active in Release
+                   builds and carry a component tag.
+
+Suppression: append `// ursa-lint: allow(<rule>)` to the offending line
+(or place it on the line directly above) with a reason.
+
+Exit status: 0 when clean, 1 when any violation is found, 2 on usage
+errors. Registered as the `lint_determinism` ctest; the `--self-test`
+mode lints embedded bait snippets and fails if any rule does NOT fire,
+so the lint cannot silently rot.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_GLOBS = ("*.h", "*.cc", "*.cpp", "*.hpp")
+
+ALLOW_RE = re.compile(r"//\s*ursa-lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|(?<![A-Za-z0-9_])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+RAW_RAND_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(?:rand|srand)\s*\("
+    r"|\brandom_device\b|\bmt19937(?:_64)?\b"
+    r"|\buniform_(?:int|real)_distribution\b"
+)
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
+    r"(?:&\s*)?(\w+)\s*[;={(]"
+)
+UNORDERED_USE_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+SCHED_RE = re.compile(
+    r"\b(?:schedule|scheduleIn|submit|invoke|publish|publishTo)\s*\("
+)
+BARE_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+# Deterministic layers where wall clocks are banned. Baselines and the
+# exec thread pool legitimately measure wall time (controller inference
+# cost is itself an evaluated quantity).
+WALL_CLOCK_SCOPES = ("sim", "core", "stats", "workload")
+
+
+def strip_comments_and_strings(line, in_block):
+    """Blank out string/char literals and comments, preserving column
+    positions. Returns (scrubbed_line, in_block_after)."""
+    out = []
+    i, n = 0, len(line)
+    state = "block" if in_block else "code"
+    while i < n:
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                out.append(" " * (n - i))
+                i = n
+            elif ch == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif ch == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+            elif ch == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(ch)
+                i += 1
+        elif state == "block":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out), state == "block"
+
+
+class Violation:
+    def __init__(self, path, line_no, rule, text):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.text = text
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.text}"
+
+
+def allowed_rules(raw_line, prev_raw_line):
+    rules = set()
+    for source in (raw_line, prev_raw_line):
+        if source is None:
+            continue
+        m = ALLOW_RE.search(source)
+        if m:
+            rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def top_dir(rel_path):
+    parts = rel_path.parts
+    return parts[0] if len(parts) > 1 else ""
+
+
+def lint_file(path, rel_path, text):
+    violations = []
+    raw_lines = text.splitlines()
+    scrubbed = []
+    in_block = False
+    for raw in raw_lines:
+        s, in_block = strip_comments_and_strings(raw, in_block)
+        scrubbed.append(s)
+
+    scope = top_dir(rel_path)
+    in_rng = scope == "stats" and rel_path.name.startswith("rng.")
+    in_check = scope == "check"
+    schedules = any(SCHED_RE.search(s) for s in scrubbed)
+
+    unordered_names = set()
+    for s in scrubbed:
+        for m in UNORDERED_DECL_RE.finditer(s):
+            unordered_names.add(m.group(1))
+    iter_re = (
+        re.compile(
+            r"for\s*\([^;)]*:\s*(?:\w+\.)*(%s)\s*\)"
+            % "|".join(re.escape(n) for n in sorted(unordered_names))
+        )
+        if unordered_names
+        else None
+    )
+
+    for idx, s in enumerate(scrubbed):
+        raw = raw_lines[idx]
+        prev_raw = raw_lines[idx - 1] if idx > 0 else None
+        allow = allowed_rules(raw, prev_raw)
+        line_no = idx + 1
+
+        if scope in WALL_CLOCK_SCOPES and "wall-clock" not in allow:
+            if WALL_CLOCK_RE.search(s):
+                violations.append(Violation(
+                    rel_path, line_no, "wall-clock",
+                    "wall-clock time in a deterministic layer; use sim "
+                    "time, or annotate overhead measurement with "
+                    "// ursa-lint: allow(wall-clock)"))
+
+        if not in_rng and "raw-rand" not in allow:
+            if RAW_RAND_RE.search(s):
+                violations.append(Violation(
+                    rel_path, line_no, "raw-rand",
+                    "unseeded/library randomness; draw from the owning "
+                    "simulation's ursa::stats::Rng"))
+
+        if scope == "sim" and "unordered-sim" not in allow:
+            if UNORDERED_USE_RE.search(s):
+                violations.append(Violation(
+                    rel_path, line_no, "unordered-sim",
+                    "unordered container in the simulation kernel; hash "
+                    "iteration order is nondeterministic — use "
+                    "std::map/std::vector"))
+
+        if (scope != "sim" and schedules and iter_re is not None
+                and "unordered-sched" not in allow):
+            if iter_re.search(s):
+                violations.append(Violation(
+                    rel_path, line_no, "unordered-sched",
+                    "iteration over an unordered container in a file "
+                    "that schedules simulation events; order the "
+                    "container or the iteration"))
+
+        if not in_check and "bare-assert" not in allow:
+            if BARE_ASSERT_RE.search(s):
+                violations.append(Violation(
+                    rel_path, line_no, "bare-assert",
+                    "bare assert() compiles out of Release; use "
+                    "URSA_CHECK(cond, component, msg) from "
+                    "check/check.h"))
+
+    return violations
+
+
+def lint_tree(root):
+    violations = []
+    files = []
+    for glob in SOURCE_GLOBS:
+        files.extend(root.rglob(glob))
+    for path in sorted(files):
+        rel = path.relative_to(root)
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return None
+        violations.extend(lint_file(path, rel, text))
+    return violations
+
+
+# --- self-test -----------------------------------------------------------
+
+# Each bait is (pseudo-path, source, rule expected to fire). The file
+# contents are linted exactly like tree files, so a regex regression
+# that stops a rule firing fails the self-test.
+SELF_TEST_BAIT = [
+    ("sim/bad_clock.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n", "wall-clock"),
+    ("core/bad_time.cc",
+     "long now = time(nullptr);\n", "wall-clock"),
+    ("workload/bad_rand.cc",
+     "int r = rand();\n", "raw-rand"),
+    ("core/bad_device.cc",
+     "std::random_device rd; std::mt19937 gen(rd());\n", "raw-rand"),
+    ("sim/bad_unordered.cc",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table;\n", "unordered-sim"),
+    ("core/bad_iter.cc",
+     "std::unordered_map<int, double> rates;\n"
+     "void go() {\n"
+     "    for (auto &kv : rates)\n"
+     "        queue.scheduleIn(10, [] {});\n"
+     "}\n", "unordered-sched"),
+    ("ml/bad_assert.cc",
+     "void f(int n) { assert(n > 0); }\n", "bare-assert"),
+]
+
+# Clean snippets that must NOT fire: suppressions, the rng exemption,
+# lookalike identifiers, and prose in comments.
+SELF_TEST_CLEAN = [
+    ("core/annotated.cc",
+     "// control-plane overhead measurement (Table 6)\n"
+     "auto t0 = std::chrono::steady_clock::now(); "
+     "// ursa-lint: allow(wall-clock)\n"),
+    ("stats/rng.cc",
+     "std::uint64_t v = rand();  // exempt file\n"),
+    ("sim/lookalikes.cc",
+     "double exploreTime(int strand);\n"
+     "// steady_clock mentioned in a comment is fine\n"
+     "static_assert(sizeof(int) == 4, \"abi\");\n"),
+    ("check/check.cc",
+     "void f() { assert(true); }  // check layer may assert\n"),
+]
+
+
+def self_test():
+    failures = []
+    for pseudo_path, source, rule in SELF_TEST_BAIT:
+        rel = Path(pseudo_path)
+        found = lint_file(rel, rel, source)
+        if not any(v.rule == rule for v in found):
+            failures.append(f"bait {pseudo_path} did not trigger [{rule}]")
+    for pseudo_path, source in SELF_TEST_CLEAN:
+        rel = Path(pseudo_path)
+        found = lint_file(rel, rel, source)
+        for v in found:
+            failures.append(f"clean {pseudo_path} wrongly triggered: {v}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test OK: {len(SELF_TEST_BAIT)} bait snippets fired, "
+          f"{len(SELF_TEST_CLEAN)} clean snippets quiet")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=None,
+                    help="source root to lint (typically <repo>/src)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint embedded bait snippets; fail unless every "
+                         "rule fires")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.root is None:
+        ap.error("--root is required unless --self-test is given")
+    if not args.root.is_dir():
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+
+    violations = lint_tree(args.root)
+    if violations is None:
+        return 2
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\nlint_determinism: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,42 +1,84 @@
 #!/usr/bin/env bash
-# Build and run the parallel-execution test suite under a sanitizer.
+# Build and run the parallel-execution test suite under sanitizers.
 #
 # Usage:
-#   scripts/sanitize.sh [thread|address|undefined]
+#   scripts/sanitize.sh [all|thread|address|undefined]...
 #
-# Defaults to ThreadSanitizer, which is the interesting one for the
-# ursa::exec layer: the per-unit ownership model (each parallel index
-# owns its own Cluster) means the pool itself is the only shared
-# mutable state, and TSan over these tests exercises every
-# synchronization edge in src/exec/thread_pool.cc plus the parallel
-# callers in src/core/explorer.cc and bench/common.cc.
+# With no argument (or `all`) every sanitizer runs in one invocation:
+# thread, then address, then undefined. Each sanitizer gets its own
+# build tree (build-<sanitizer>/) so none disturbs the primary build/
+# directory. A failure in any leg does NOT stop the remaining legs;
+# the script prints a per-leg summary and exits nonzero if ANY leg
+# failed, so CI can call it directly.
 #
-# The sanitized tree lives in build-<sanitizer>/ so it never disturbs
-# the primary build/ directory.
+# ThreadSanitizer is the interesting one for the ursa::exec layer: the
+# per-unit ownership model (each parallel index owns its own Cluster)
+# means the pool itself is the only shared mutable state, and TSan over
+# these tests exercises every synchronization edge in
+# src/exec/thread_pool.cc plus the parallel callers in
+# src/core/explorer.cc and bench/common.cc. TSan legs run with
+# URSA_THREADS=8 (overridable) to force real contention.
 
-set -euo pipefail
+set -uo pipefail
 
-SAN="${1:-thread}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="$ROOT/build-$SAN"
 
-cmake -B "$BUILD" -S "$ROOT" -DURSA_SANITIZE="$SAN" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-
-# The parallel paths and the kernel they drive. test_bench_grid_*
-# is the heaviest; keep it last so the cheap ones fail fast.
+# The parallel paths and the kernel they drive, plus the check-layer
+# and pool suites (freelist headers + invariant audits are exactly the
+# code sanitizers should see). test_bench_grid_determinism is the
+# heaviest; keep it last so the cheap ones fail fast.
 TARGETS=(
     test_exec_thread_pool
     test_sim_event_queue
+    test_sim_pool
+    test_check
     test_core_parallel_determinism
     test_bench_grid_determinism
 )
 
-cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
+if [ "$#" -eq 0 ] || [ "$1" = "all" ]; then
+    SANITIZERS=(thread address undefined)
+else
+    SANITIZERS=("$@")
+fi
 
-for t in "${TARGETS[@]}"; do
-    echo "== $SAN :: $t =="
-    "$BUILD/tests/$t"
+declare -A RESULT
+rc=0
+
+for SAN in "${SANITIZERS[@]}"; do
+    BUILD="$ROOT/build-$SAN"
+    echo "==== sanitizer: $SAN (build tree: $BUILD) ===="
+    leg_rc=0
+
+    if ! cmake -B "$BUILD" -S "$ROOT" -DURSA_SANITIZE="$SAN" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo; then
+        leg_rc=1
+    elif ! cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"
+    then
+        leg_rc=1
+    else
+        for t in "${TARGETS[@]}"; do
+            echo "== $SAN :: $t =="
+            if [ "$SAN" = "thread" ]; then
+                URSA_THREADS="${URSA_THREADS:-8}" "$BUILD/tests/$t" ||
+                    leg_rc=1
+            else
+                "$BUILD/tests/$t" || leg_rc=1
+            fi
+        done
+    fi
+
+    RESULT[$SAN]=$leg_rc
+    [ "$leg_rc" -ne 0 ] && rc=1
 done
 
-echo "All sanitizer ($SAN) runs passed."
+echo "==== sanitizer summary ===="
+for SAN in "${SANITIZERS[@]}"; do
+    if [ "${RESULT[$SAN]}" -eq 0 ]; then
+        echo "  $SAN: PASS"
+    else
+        echo "  $SAN: FAIL"
+    fi
+done
+
+exit "$rc"

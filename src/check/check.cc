@@ -1,0 +1,85 @@
+#include "check/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <inttypes.h>
+
+namespace ursa::check
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_violations{0};
+
+thread_local ScopedCapture *tl_capture = nullptr;
+thread_local std::int64_t tl_simTime = -1;
+
+} // namespace
+
+void
+fail(const char *component, const char *message, const char *condition,
+     const char *file, int line)
+{
+    g_violations.fetch_add(1, std::memory_order_relaxed);
+    const Violation v{component, message, condition, file, line,
+                      tl_simTime};
+    if (tl_capture != nullptr) {
+        tl_capture->record(v);
+        return;
+    }
+    std::fprintf(stderr,
+                 "URSA_CHECK violation [%s] sim_time=%" PRId64
+                 "us: %s\n  failed: %s\n  at: %s:%d\n",
+                 v.component, v.simTime, v.message, v.condition, v.file,
+                 v.line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+std::uint64_t
+violationCount()
+{
+    return g_violations.load(std::memory_order_relaxed);
+}
+
+void
+noteSimTime(std::int64_t t)
+{
+    tl_simTime = t;
+}
+
+std::int64_t
+currentSimTime()
+{
+    return tl_simTime;
+}
+
+ScopedCapture::ScopedCapture() : prev_(tl_capture)
+{
+    tl_capture = this;
+}
+
+ScopedCapture::~ScopedCapture()
+{
+    tl_capture = prev_;
+}
+
+bool
+ScopedCapture::sawComponent(const char *component) const
+{
+    for (const Violation &v : violations_) {
+        const char *a = v.component;
+        const char *b = component;
+        while (*a && *a == *b) {
+            ++a;
+            ++b;
+        }
+        if (*a == *b)
+            return true;
+    }
+    return false;
+}
+
+} // namespace ursa::check

@@ -109,8 +109,10 @@ profileBackpressureThreshold(const apps::AppSpec &app, int serviceIdx,
                               opts.alpha)) {
             // Proxy latency converged between the previous and current
             // limits: the utilization just before convergence is the
-            // backpressure-free threshold.
-            res.threshold = prevUtil;
+            // backpressure-free threshold. Measured utilization can
+            // drift past 1.0 at window edges under overload; the
+            // contract is (0, 1].
+            res.threshold = std::clamp(prevUtil, 1e-3, 1.0);
             res.converged = true;
             return res;
         }
@@ -119,8 +121,8 @@ profileBackpressureThreshold(const apps::AppSpec &app, int serviceIdx,
         havePrev = true;
     }
     // Never converged inside the sweep: be conservative and use the
-    // last measured utilization.
-    res.threshold = prevUtil;
+    // last measured utilization (clamped to the (0, 1] contract).
+    res.threshold = std::clamp(prevUtil, 1e-3, 1.0);
     return res;
 }
 

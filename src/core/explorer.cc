@@ -1,5 +1,6 @@
 #include "core/explorer.h"
 
+#include "check/check.h"
 #include "core/harness.h"
 #include "exec/thread_pool.h"
 
@@ -32,6 +33,20 @@ ExplorationController::exploreService(const apps::AppSpec &app,
                                       const std::vector<double> &rates,
                                       const PercentileGrid &grid) const
 {
+    // Percentile-grid and input validation: a malformed grid or rate
+    // vector silently poisons every LPR level recorded downstream.
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+        URSA_CHECK(grid[g] > 0.0 && grid[g] <= 100.0, "core.explorer",
+                   "percentile grid entry outside (0, 100]");
+        URSA_CHECK(g == 0 || grid[g] > grid[g - 1], "core.explorer",
+                   "percentile grid not strictly increasing");
+    }
+    for (double r : rates)
+        URSA_CHECK(std::isfinite(r) && r >= 0.0, "core.explorer",
+                   "service-local rate not finite and non-negative");
+    URSA_CHECK(bpThreshold > 0.0 && bpThreshold <= 1.0, "core.explorer",
+               "backpressure-free threshold outside (0, 1]");
+
     const sim::ServiceConfig &svcCfg = app.services.at(serviceIdx);
     ServiceProfile profile;
     profile.serviceName = svcCfg.name;
@@ -104,6 +119,9 @@ ExplorationController::exploreService(const apps::AppSpec &app,
             break; // Algorithm 1: terminate without recording
 
         // Record this LPR level.
+        URSA_CHECK(std::isfinite(util) && util >= 0.0 && util <= 1.0 + 1e-9,
+                   "core.explorer",
+                   "measured CPU utilization outside [0, 1]");
         LprLevel level;
         level.replicas = replicas;
         level.cpuUtilization = util;
@@ -114,6 +132,16 @@ ExplorationController::exploreService(const apps::AppSpec &app,
                 continue;
             const double measured = metrics.arrivalRate(
                 h.testedId, static_cast<int>(c), warmup, levelSpan);
+            // LPR bound: the measured per-replica load must be finite,
+            // non-negative and consistent with the offered rate (x2
+            // covers Poisson noise on short levels; beyond that the
+            // harness replayed the wrong workload).
+            URSA_CHECK(std::isfinite(measured) && measured >= 0.0,
+                       "core.explorer",
+                       "measured arrival rate not finite/non-negative");
+            URSA_CHECK(measured <= rates[c] * 2.0 + 5.0, "core.explorer",
+                       "LPR bound violation: measured load exceeds "
+                       "the offered service-local rate");
             level.loadPerReplica[c] = measured / replicas;
             const auto samples = metrics
                                      .tierLatency(h.testedId,

@@ -1,9 +1,9 @@
 #include "core/mip_model.h"
 
+#include "check/check.h"
 #include "core/theorem.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -50,6 +50,26 @@ struct Context
         if (static_cast<int>(input.loads.size()) != numServices ||
             static_cast<int>(input.slaVisits.size()) != numServices)
             throw std::invalid_argument("model input size mismatch");
+
+        // Profile/load validation: a NaN or negative latency entry
+        // would silently pass through the percentile-split DP and
+        // produce a bogus "feasible" allocation.
+        for (const ServiceProfile &svc : prof.services)
+            for (const LprLevel &lvl : svc.levels)
+                for (const auto &row : lvl.latency)
+                    for (double v : row)
+                        URSA_CHECK(std::isfinite(v) && v >= 0.0,
+                                   "core.mip",
+                                   "profiled latency entry not finite "
+                                   "and non-negative");
+        for (const auto &row : input.loads)
+            for (double v : row)
+                URSA_CHECK(std::isfinite(v) && v >= 0.0, "core.mip",
+                           "load entry not finite and non-negative");
+        for (const auto &row : input.slaVisits)
+            for (double v : row)
+                URSA_CHECK(std::isfinite(v) && v >= 0.0, "core.mip",
+                           "SLA visit count not finite and non-negative");
 
         for (int s = 0; s < numServices; ++s)
             if (!prof.services[s].levels.empty())
@@ -295,6 +315,30 @@ UrsaOptimizer::solve(const ModelInput &input) const
             out.totalCpuCores += ctx.resource[s][out.level[s]];
         }
     }
+
+    // Feasibility re-check of the returned incumbent: the exact split
+    // must still fit every class's SLA, every decided service must
+    // carry its load with >= 1 replica, and the objective must equal
+    // the recomputed resource sum. Catches B&B bookkeeping bugs
+    // (stale incumbent, wrong bound ordering) at the API boundary.
+    std::vector<double> recheck;
+    URSA_CHECK(ctx.feasible(out.level, &recheck), "core.mip",
+               "returned solution fails the exact feasibility re-check");
+    for (int c = 0; c < ctx.numClasses; ++c) {
+        if (!recheck.empty())
+            URSA_CHECK(recheck[c] <=
+                           static_cast<double>(input.slas[c].targetUs) +
+                               1e-6,
+                       "core.mip",
+                       "returned solution's latency bound exceeds the "
+                       "class SLA");
+    }
+    for (int s : ctx.active)
+        URSA_CHECK(out.level[s] >= 0 && out.replicas[s] >= 1, "core.mip",
+                   "active service left undecided or with no replicas");
+    URSA_CHECK(std::fabs(out.totalCpuCores - incumbent) <= 1e-6,
+               "core.mip",
+               "objective drifted from the recomputed resource sum");
     return out;
 }
 

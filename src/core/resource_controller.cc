@@ -25,6 +25,7 @@ ResourceController::setThresholds(std::vector<double> lpr)
 int
 ResourceController::tick()
 {
+    // ursa-lint: allow(wall-clock) control-plane overhead (Table 6)
     const auto wallStart = std::chrono::steady_clock::now();
 
     sim::Service &svc = cluster_.service(service_);
@@ -72,6 +73,7 @@ ResourceController::tick()
     }
     next = std::clamp(next, opts_.minReplicas, opts_.maxReplicas);
 
+    // ursa-lint: allow(wall-clock) control-plane overhead (Table 6)
     const auto wallEnd = std::chrono::steady_clock::now();
     decisionLatency_.add(
         std::chrono::duration<double, std::micro>(wallEnd - wallStart)

@@ -1,7 +1,8 @@
 #include "core/theorem.h"
 
+#include "check/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -123,11 +124,13 @@ optimizePercentileSplit(
     int b = bestB;
     for (std::size_t s = n; s-- > 0;) {
         const int g = choice[s][b];
-        assert(g >= 0);
+        URSA_CHECK(g >= 0, "core.theorem",
+                   "percentile-split DP backtrack hit an unset choice");
         res.chosenIdx[s] = g;
         b -= cost[static_cast<std::size_t>(g)];
     }
-    assert(b >= 0);
+    URSA_CHECK(b >= 0, "core.theorem",
+               "percentile-split DP backtrack overran the budget");
     return res;
 }
 

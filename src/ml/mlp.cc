@@ -1,7 +1,8 @@
 #include "ml/mlp.h"
 
+#include "check/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -49,7 +50,8 @@ Mlp::forwardInternal(const std::vector<double> &x,
                      std::vector<std::vector<double>> &acts,
                      Loss loss) const
 {
-    assert(static_cast<int>(x.size()) == sizes_.front());
+    URSA_CHECK(static_cast<int>(x.size()) == sizes_.front(), "ml.mlp",
+               "input width does not match the first layer");
     acts.clear();
     acts.push_back(x);
     for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -108,7 +110,8 @@ Mlp::trainBatch(const std::vector<std::vector<double>> &xs,
         forwardInternal(xs[n], acts, loss);
         const std::vector<double> &out = acts.back();
         const std::vector<double> &y = ys[n];
-        assert(y.size() == out.size());
+        URSA_CHECK(y.size() == out.size(), "ml.mlp",
+                   "label width does not match the output layer");
 
         // Output delta. For MSE with linear output and for BCE with
         // sigmoid output, dL/dz conveniently equals (out - y).

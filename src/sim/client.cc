@@ -1,6 +1,7 @@
 #include "sim/client.h"
 
-#include <cassert>
+#include "check/check.h"
+
 #include <utility>
 
 namespace ursa::sim
@@ -58,7 +59,8 @@ ClosedLoopClient::ClosedLoopClient(Cluster &cluster, int users,
     : cluster_(cluster), users_(users), thinkMeanUs_(thinkMeanUs),
       picker_(std::move(picker)), rng_(seed)
 {
-    assert(users_ > 0);
+    URSA_CHECK(users_ > 0, "sim.client",
+               "closed-loop client with no users");
 }
 
 void

@@ -1,6 +1,5 @@
 #include "sim/cluster.h"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace ursa::sim
@@ -123,6 +122,7 @@ Cluster::submit(ClassId c)
     if (!finalized_)
         throw std::logic_error("submit before finalize");
     const RequestClassSpec &spec = classes_.at(c);
+    ++submitted_;
     auto req = std::allocate_shared<Request>(PoolAllocator<Request>(pool_));
     req->id = nextRequestId_++;
     req->classId = c;
@@ -188,7 +188,8 @@ Cluster::publishTo(ServiceId target, const RequestPtr &req)
 void
 Cluster::asyncBranchDone(const RequestPtr &req)
 {
-    assert(req->outstandingAsync > 0);
+    URSA_CHECK(req->outstandingAsync > 0, "sim.cluster",
+               "async branch completed with no outstanding branch");
     req->outstandingAsync -= 1;
     maybeFinishRequest(req);
 }
@@ -199,6 +200,9 @@ Cluster::maybeFinishRequest(const RequestPtr &req)
     if (!req->fullyDone() || req->allDoneTime >= 0)
         return;
     req->allDoneTime = events_.now();
+    ++completed_;
+    URSA_CHECK(completed_ <= submitted_, "sim.cluster",
+               "request conservation violation: completed > injected");
     const RequestClassSpec &spec = classes_.at(req->classId);
     if (spec.asyncCompletion) {
         metrics_.recordEndToEnd(req->classId, events_.now(),
@@ -227,7 +231,28 @@ Cluster::samplerTick()
         metrics_.recordBusySample(s, events_.now(),
                                   services_[s]->cumBusyCoreUs());
     }
+#if URSA_CHECK_LEVEL >= 2
+    auditConservation(false); // periodic live sweep
+#endif
     events_.scheduleIn(sampleInterval_, [this] { samplerTick(); });
+}
+
+void
+Cluster::auditConservation(bool expectQuiescent) const
+{
+    URSA_CHECK(completed_ <= submitted_, "sim.cluster",
+               "request conservation violation: completed > injected");
+    if (!expectQuiescent)
+        return;
+    URSA_CHECK(inFlight() == 0, "sim.cluster",
+               "request conservation violation at drain: "
+               "injected != completed");
+    for (const auto &svc : services_) {
+        URSA_CHECK(svc->mqDepth() == 0, "sim.cluster",
+                   "message queue non-empty at drain");
+        URSA_CHECK(svc->rpcQueueDepth() == 0, "sim.cluster",
+                   "RPC queue non-empty at drain");
+    }
 }
 
 double

@@ -13,6 +13,7 @@
 #ifndef URSA_SIM_CLUSTER_H
 #define URSA_SIM_CLUSTER_H
 
+#include "check/check.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/pool.h"
@@ -107,6 +108,36 @@ class Cluster
     /** Total CPU cores currently allocated across all services. */
     double totalCpuAllocation() const;
 
+    // --- request-conservation accounting -------------------------------
+
+    /** Requests injected via submit() so far. */
+    std::uint64_t submitted() const { return submitted_; }
+
+    /** Requests fully completed (sync path + every async branch). */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Requests injected but not yet fully completed. */
+    std::uint64_t inFlight() const { return submitted_ - completed_; }
+
+    /**
+     * Audit request conservation: injected == completed + in-flight,
+     * counters monotone. With `expectQuiescent` (callers stopped and
+     * the sim drained) additionally require in-flight == 0 and every
+     * service queue empty — a lost request (dropped continuation,
+     * leaked invocation) fires a "sim.cluster" violation here.
+     */
+    void auditConservation(bool expectQuiescent) const;
+
+#if URSA_CHECK_LEVEL >= 1
+    /**
+     * Violation injection for the check layer's own tests: forge one
+     * injected-but-never-completed request so auditConservation(true)
+     * fires. Leaves the counters corrupted — use only on a cluster
+     * about to be discarded.
+     */
+    void injectConservationViolationForTest() { ++submitted_; }
+#endif
+
   private:
     void samplerTick();
     void maybeFinishRequest(const RequestPtr &req);
@@ -127,6 +158,8 @@ class Cluster
     bool samplerArmed_ = false;
     SimTime sampleInterval_;
     std::uint64_t nextRequestId_ = 1;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
 };
 
 } // namespace ursa::sim

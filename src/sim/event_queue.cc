@@ -9,6 +9,9 @@ namespace ursa::sim
 void
 EventQueue::schedule(SimTime at, Callback fn)
 {
+    // Past scheduling stays a throwing contract (callers and tests
+    // rely on the exception); the dispatch-side audit in auditPopOrder
+    // owns the monotonicity invariant.
     if (at < now_)
         throw std::logic_error("scheduling an event in the past");
     Entry e{at, seq_++, std::move(fn)};
@@ -24,6 +27,12 @@ EventQueue::schedule(SimTime at, Callback fn)
         i = parent;
     }
     heap_[i] = std::move(e);
+#if URSA_CHECK_LEVEL >= 2
+    if (auditCountdown_-- == 0) {
+        auditCountdown_ = kAuditStride - 1;
+        auditHeap();
+    }
+#endif
 }
 
 void
@@ -67,6 +76,9 @@ EventQueue::runNext()
     if (heap_.empty())
         return false;
     Entry e = popTop();
+#if URSA_CHECK_LEVEL >= 1
+    auditPopOrder(e);
+#endif
     now_ = e.at;
     ++processed_;
     e.fn();
@@ -78,6 +90,9 @@ EventQueue::runUntil(SimTime until)
 {
     while (!heap_.empty() && heap_.front().at <= until) {
         Entry e = popTop();
+#if URSA_CHECK_LEVEL >= 1
+        auditPopOrder(e);
+#endif
         now_ = e.at;
         ++processed_;
         e.fn();
@@ -85,5 +100,53 @@ EventQueue::runUntil(SimTime until)
     if (until > now_)
         now_ = until;
 }
+
+#if URSA_CHECK_LEVEL >= 1
+
+void
+EventQueue::auditPopOrder(const Entry &e)
+{
+    check::noteSimTime(e.at);
+    URSA_CHECK(e.at >= now_, "sim.event_queue",
+               "dispatch order violation: event earlier than sim clock");
+    URSA_CHECK(e.at > lastAt_ || (e.at == lastAt_ && e.seq > lastSeq_),
+               "sim.event_queue",
+               "FIFO tie-break violation: (time, seq) not increasing");
+    lastAt_ = e.at;
+    lastSeq_ = e.seq;
+#if URSA_CHECK_LEVEL >= 2
+    if (auditCountdown_-- == 0) {
+        auditCountdown_ = kAuditStride - 1;
+        auditHeap();
+    }
+#endif
+}
+
+void
+EventQueue::corruptOrderForTest()
+{
+    if (heap_.size() < 2)
+        return;
+    std::swap(heap_[0], heap_[1]);
+}
+
+#endif // URSA_CHECK_LEVEL >= 1
+
+#if URSA_CHECK_LEVEL >= 2
+
+void
+EventQueue::auditHeap()
+{
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+        const std::size_t parent = (i - 1) / 2;
+        URSA_CHECK_SLOW(earlier(heap_[parent], heap_[i]),
+                        "sim.event_queue",
+                        "heap-order violation between parent and child");
+        URSA_CHECK_SLOW(heap_[i].at >= now_, "sim.event_queue",
+                        "pending event earlier than the sim clock");
+    }
+}
+
+#endif // URSA_CHECK_LEVEL >= 2
 
 } // namespace ursa::sim

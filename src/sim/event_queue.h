@@ -13,6 +13,7 @@
 #ifndef URSA_SIM_EVENT_QUEUE_H
 #define URSA_SIM_EVENT_QUEUE_H
 
+#include "check/check.h"
 #include "sim/callback.h"
 #include "sim/time.h"
 
@@ -58,6 +59,16 @@ class EventQueue
     /** Total events executed so far. */
     std::uint64_t processed() const { return processed_; }
 
+#if URSA_CHECK_LEVEL >= 1
+    /**
+     * Violation injection for the check layer's own tests: swap the
+     * two earliest heap entries so the next pops run out of (time,
+     * seq) order and the level-1 monotonicity check fires. No-op with
+     * fewer than two pending events.
+     */
+    void corruptOrderForTest();
+#endif
+
   private:
     struct Entry
     {
@@ -78,9 +89,28 @@ class EventQueue
     /** Move the minimum entry out of the heap and restore heap order. */
     Entry popTop();
 
+#if URSA_CHECK_LEVEL >= 1
+    /** Audit the popped entry against the last-dispatched (time, seq). */
+    void auditPopOrder(const Entry &e);
+#endif
+#if URSA_CHECK_LEVEL >= 2
+    /** Full heap-property scan, sampled every kAuditStride ops. */
+    void auditHeap();
+#endif
+
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t processed_ = 0;
+#if URSA_CHECK_LEVEL >= 1
+    /// (time, seq) of the last dispatched event, for the level-1
+    /// strict-total-order audit (FIFO tie-break included).
+    SimTime lastAt_ = -1;
+    std::uint64_t lastSeq_ = 0;
+#endif
+#if URSA_CHECK_LEVEL >= 2
+    static constexpr std::uint64_t kAuditStride = 1024;
+    std::uint64_t auditCountdown_ = 0;
+#endif
     /// Binary min-heap ordered by `earlier`; heap_[0] is the minimum.
     std::vector<Entry> heap_;
 };

@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
-#include <cassert>
+#include "check/check.h"
+
 #include <stdexcept>
 
 namespace ursa::sim
@@ -8,7 +9,8 @@ namespace ursa::sim
 
 MetricsRegistry::MetricsRegistry(SimTime window) : window_(window)
 {
-    assert(window_ > 0);
+    URSA_CHECK(window_ > 0, "sim.metrics",
+               "metrics registry with a non-positive window");
 }
 
 void

@@ -14,7 +14,10 @@
 #ifndef URSA_SIM_POOL_H
 #define URSA_SIM_POOL_H
 
+#include "check/check.h"
+
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <vector>
@@ -22,7 +25,16 @@
 namespace ursa::sim
 {
 
-/** Freelist arena with 64-byte size classes up to 512 bytes. */
+/**
+ * Freelist arena with 64-byte size classes up to 512 bytes.
+ *
+ * With URSA_CHECK_LEVEL >= 1 every pooled block carries a hidden
+ * header holding a generation counter and a live/free state bit.
+ * Releasing a block that is already free fires a "sim.pool" violation
+ * (and the block is NOT re-inserted, so the freelist cannot hand the
+ * same address out twice); the generation bumps on every allocate and
+ * release, so stale-pointer reuse across a recycle is detectable.
+ */
 class PoolArena
 {
   public:
@@ -36,6 +48,59 @@ class PoolArena
             for (void *p : bucket)
                 ::operator delete(p);
     }
+
+#if URSA_CHECK_LEVEL >= 1
+
+    void *
+    allocate(std::size_t bytes)
+    {
+        if (bytes == 0 || bytes > kMaxBlock)
+            return ::operator new(bytes);
+        auto &bucket = free_[classOf(bytes)];
+        Header *h;
+        if (!bucket.empty()) {
+            h = static_cast<Header *>(bucket.back());
+            bucket.pop_back();
+            URSA_CHECK(h->live == 0, "sim.pool",
+                       "freelist handed out a block still marked live");
+        } else {
+            h = static_cast<Header *>(::operator new(
+                kHeaderSize + (classOf(bytes) + 1) * kGranularity));
+            h->generation = 0;
+        }
+        h->live = 1;
+        ++h->generation;
+        return static_cast<char *>(static_cast<void *>(h)) + kHeaderSize;
+    }
+
+    void
+    deallocate(void *p, std::size_t bytes) noexcept
+    {
+        if (bytes == 0 || bytes > kMaxBlock) {
+            ::operator delete(p);
+            return;
+        }
+        Header *h = headerOf(p);
+        URSA_CHECK(h->live == 1, "sim.pool",
+                   "double release of a pooled block");
+        if (h->live != 1)
+            return; // keep the freelist sound after a trapped violation
+        h->live = 0;
+        ++h->generation;
+        free_[classOf(bytes)].push_back(h);
+    }
+
+    /**
+     * Generation tag of a pooled block (bumps on every allocate and
+     * release). Exposed for the pool's own tests.
+     */
+    static std::uint32_t
+    generationOf(const void *p)
+    {
+        return headerOf(const_cast<void *>(p))->generation;
+    }
+
+#else // URSA_CHECK_LEVEL == 0: zero-overhead layout, no headers
 
     void *
     allocate(std::size_t bytes)
@@ -61,9 +126,31 @@ class PoolArena
         free_[classOf(bytes)].push_back(p);
     }
 
+#endif // URSA_CHECK_LEVEL
+
   private:
     static constexpr std::size_t kGranularity = 64;
     static constexpr std::size_t kMaxBlock = 512;
+
+#if URSA_CHECK_LEVEL >= 1
+    struct Header
+    {
+        std::uint32_t generation;
+        std::uint32_t live;
+    };
+    /// Header stride preserving max_align for the user block.
+    static constexpr std::size_t kHeaderSize =
+        alignof(std::max_align_t) > sizeof(Header)
+            ? alignof(std::max_align_t)
+            : sizeof(Header);
+
+    static Header *
+    headerOf(void *userPtr)
+    {
+        return static_cast<Header *>(static_cast<void *>(
+            static_cast<char *>(userPtr) - kHeaderSize));
+    }
+#endif
 
     static std::size_t
     classOf(std::size_t bytes)

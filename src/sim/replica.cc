@@ -1,10 +1,10 @@
 #include "sim/replica.h"
 
+#include "check/check.h"
 #include "sim/cluster.h"
 #include "sim/service.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace ursa::sim
@@ -24,9 +24,40 @@ Replica::Replica(Service &svc, int index)
       cpuLimit_(svc.config().cpuPerReplica),
       lastSync_(svc.cluster().events().now())
 {
-    assert(threads_ > 0);
-    assert(cpuLimit_ > 0.0);
+    URSA_CHECK(threads_ > 0, "sim.replica",
+               "replica configured with an empty worker pool");
+    URSA_CHECK(cpuLimit_ > 0.0, "sim.replica",
+               "replica configured with a non-positive CPU limit");
 }
+
+void
+Replica::auditAccounting()
+{
+    URSA_CHECK(busyWorkers_ >= 0 && busyWorkers_ <= threads_,
+               "sim.replica",
+               "worker accounting violation: busy + idle != pool size");
+    URSA_CHECK(busyDaemons_ >= 0 && busyDaemons_ <= daemonThreads_,
+               "sim.replica",
+               "daemon accounting violation: busy + idle != pool size");
+    // A queued invocation while a worker idles breaks FIFO admission.
+    URSA_CHECK_SLOW(pending_.empty() || busyWorkers_ == threads_ ||
+                        draining_,
+                    "sim.replica",
+                    "pending RPC queued while a worker is idle");
+    URSA_CHECK_SLOW(daemonPending_.empty() ||
+                        busyDaemons_ == daemonThreads_,
+                    "sim.replica",
+                    "pending daemon task queued while a daemon is idle");
+}
+
+#if URSA_CHECK_LEVEL >= 1
+void
+Replica::injectAccountingViolationForTest()
+{
+    --busyWorkers_;
+    auditAccounting();
+}
+#endif
 
 bool
 Replica::hasFreeWorker() const
@@ -39,6 +70,7 @@ Replica::submit(InvocationPtr inv)
 {
     if (busyWorkers_ < threads_) {
         ++busyWorkers_;
+        auditAccounting();
         begin(std::move(inv));
     } else {
         pending_.push_back(std::move(inv));
@@ -48,8 +80,10 @@ Replica::submit(InvocationPtr inv)
 void
 Replica::beginMq(InvocationPtr inv)
 {
-    assert(busyWorkers_ < threads_);
+    URSA_CHECK(busyWorkers_ < threads_, "sim.replica",
+               "MQ hand-off to a replica with no free worker");
     ++busyWorkers_;
+    auditAccounting();
     begin(std::move(inv));
 }
 
@@ -214,6 +248,8 @@ Replica::finish(const InvocationPtr &inv)
 void
 Replica::releaseWorker()
 {
+    URSA_CHECK(busyWorkers_ > 0, "sim.replica",
+               "releasing a worker on a fully idle replica");
     if (!pending_.empty()) {
         InvocationPtr next = std::move(pending_.front());
         pending_.pop_front();
@@ -246,6 +282,8 @@ Replica::daemonSubmit(InlineCallback task)
 void
 Replica::daemonRelease()
 {
+    URSA_CHECK(busyDaemons_ > 0, "sim.replica",
+               "releasing a daemon on a fully idle replica");
     if (!daemonPending_.empty()) {
         auto task = std::move(daemonPending_.front());
         daemonPending_.pop_front();
@@ -260,7 +298,8 @@ Replica::daemonRelease()
 void
 Replica::setCpuLimit(double cores)
 {
-    assert(cores > 0.0);
+    URSA_CHECK(cores > 0.0, "sim.replica",
+               "CPU limit must be positive");
     cpuSync();
     cpuLimit_ = cores;
     cpuReschedule();
@@ -269,7 +308,8 @@ Replica::setCpuLimit(double cores)
 void
 Replica::setCpuFactor(double factor)
 {
-    assert(factor > 0.0 && factor <= 1.0);
+    URSA_CHECK(factor > 0.0 && factor <= 1.0, "sim.replica",
+               "throttle factor outside (0, 1]");
     cpuSync();
     cpuFactor_ = factor;
     cpuReschedule();

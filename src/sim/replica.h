@@ -23,6 +23,7 @@
 #ifndef URSA_SIM_REPLICA_H
 #define URSA_SIM_REPLICA_H
 
+#include "check/check.h"
 #include "sim/invocation.h"
 #include "sim/time.h"
 #include "sim/types.h"
@@ -93,7 +94,20 @@ class Replica
     /** Whether startDrain was called. */
     bool draining() const { return draining_; }
 
+#if URSA_CHECK_LEVEL >= 1
+    /**
+     * Violation injection for the check layer's own tests: release a
+     * worker that was never acquired, so the accounting audit fires
+     * ("sim.replica"). Leaves the replica's counters corrupted — use
+     * only on a cluster about to be discarded.
+     */
+    void injectAccountingViolationForTest();
+#endif
+
   private:
+    /** Thread-pool accounting audit: busy counts within pool bounds,
+     * no queued work while a worker idles, queues never negative. */
+    void auditAccounting();
     void begin(InvocationPtr inv);
     void advance(const InvocationPtr &inv);
     void finish(const InvocationPtr &inv);

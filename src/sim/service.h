@@ -85,6 +85,12 @@ class Service
     /** Called by a replica that finished draining. */
     void notifyDrained(Replica &replica);
 
+#if URSA_CHECK_LEVEL >= 1
+    /** Test access to a replica, for the check layer's violation-
+     * injection tests only. */
+    Replica &replicaForTest(std::size_t i) { return *replicas_.at(i); }
+#endif
+
   private:
     Replica &pickReplica();
 

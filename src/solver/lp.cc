@@ -1,7 +1,8 @@
 #include "solver/lp.h"
 
+#include "check/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -98,7 +99,8 @@ class Tableau
     pivot(std::size_t row, std::size_t col)
     {
         const double piv = a_[row][col];
-        assert(std::fabs(piv) > kEps);
+        URSA_CHECK(std::fabs(piv) > kEps, "solver.lp",
+                   "pivot on a numerically zero element");
         for (double &v : a_[row])
             v /= piv;
         for (std::size_t i = 0; i < m_; ++i) {
@@ -138,8 +140,9 @@ LpProblem::LpProblem(std::size_t n)
 void
 LpProblem::setBounds(std::size_t i, double lo, double hi)
 {
-    assert(i < numVars());
-    assert(lo <= hi);
+    URSA_CHECK(i < numVars(), "solver.lp",
+               "setBounds on an out-of-range variable");
+    URSA_CHECK(lo <= hi, "solver.lp", "inverted variable bounds");
     lower[i] = lo;
     upper[i] = hi;
 }
@@ -159,7 +162,8 @@ LpProblem::addSparseConstraint(
 {
     std::vector<double> a(numVars(), 0.0);
     for (const auto &[idx, coef] : terms) {
-        assert(idx < numVars());
+        URSA_CHECK(idx < numVars(), "solver.lp",
+                   "sparse constraint names an out-of-range variable");
         a[idx] += coef;
     }
     rows.push_back({std::move(a), rel, b});

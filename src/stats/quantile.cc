@@ -1,7 +1,8 @@
 #include "stats/quantile.h"
 
+#include "check/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,7 +26,8 @@ nextState(std::uint64_t &s)
 double
 interpolatedPercentile(const std::vector<double> &sorted, double p)
 {
-    assert(!sorted.empty());
+    URSA_CHECK(!sorted.empty(), "stats.quantile",
+               "percentile of an empty sample set");
     if (p <= 0.0)
         return sorted.front();
     if (p >= 100.0)
@@ -47,7 +49,8 @@ SampleSet::SampleSet(std::size_t capacity, std::uint64_t seed)
 void
 SampleSet::trackThreshold(double threshold)
 {
-    assert(observed_ == 0);
+    URSA_CHECK(observed_ == 0, "stats.quantile",
+               "trackThreshold after samples were observed");
     trackAbove_ = true;
     aboveThreshold_ = threshold;
 }

@@ -1,6 +1,7 @@
 #include "stats/rng.h"
 
-#include <cassert>
+#include "check/check.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -65,7 +66,7 @@ Rng::uniform(double lo, double hi)
 std::uint64_t
 Rng::uniformInt(std::uint64_t n)
 {
-    assert(n > 0);
+    URSA_CHECK(n > 0, "stats.rng", "uniformInt over an empty range");
     // Rejection sampling to avoid modulo bias.
     const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
     std::uint64_t v;
@@ -78,7 +79,8 @@ Rng::uniformInt(std::uint64_t n)
 double
 Rng::exponential(double mean)
 {
-    assert(mean >= 0.0);
+    URSA_CHECK(mean >= 0.0, "stats.rng",
+               "exponential with a negative mean");
     double u;
     do {
         u = uniform();
@@ -113,8 +115,10 @@ Rng::normal(double mean, double stddev)
 double
 Rng::lognormal(double mean, double cv)
 {
-    assert(mean >= 0.0);
-    assert(cv >= 0.0);
+    URSA_CHECK(mean >= 0.0, "stats.rng",
+               "lognormal with a negative mean");
+    URSA_CHECK(cv >= 0.0, "stats.rng",
+               "lognormal with a negative coefficient of variation");
     if (mean == 0.0 || cv == 0.0)
         return mean;
     // mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
@@ -128,7 +132,8 @@ Rng::weightedChoice(const std::vector<double> &weights)
 {
     double total = 0.0;
     for (double w : weights) {
-        assert(w >= 0.0);
+        URSA_CHECK(w >= 0.0, "stats.rng",
+                   "weightedChoice with a negative weight");
         total += w;
     }
     if (total <= 0.0)

@@ -1,7 +1,8 @@
 #include "stats/timeseries.h"
 
+#include "check/check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 namespace ursa::stats
@@ -73,7 +74,8 @@ WindowAggregator::WindowAggregator(std::int64_t width,
                                    std::size_t sampleCapacity)
     : width_(width), sampleCapacity_(sampleCapacity)
 {
-    assert(width_ > 0);
+    URSA_CHECK(width_ > 0, "stats.timeseries",
+               "window aggregator with a non-positive width");
 }
 
 std::int64_t

@@ -1,6 +1,7 @@
 #include "stats/welch.h"
 
-#include <cassert>
+#include "check/check.h"
+
 #include <cmath>
 #include <limits>
 
@@ -78,7 +79,8 @@ lnGamma(double x)
 double
 incompleteBeta(double a, double b, double x)
 {
-    assert(a > 0.0 && b > 0.0);
+    URSA_CHECK(a > 0.0 && b > 0.0, "stats.welch",
+               "incomplete beta with non-positive shape");
     if (x <= 0.0)
         return 0.0;
     if (x >= 1.0)
@@ -96,7 +98,8 @@ incompleteBeta(double a, double b, double x)
 double
 studentTCdf(double t, double df)
 {
-    assert(df > 0.0);
+    URSA_CHECK(df > 0.0, "stats.welch",
+               "Student t CDF with non-positive degrees of freedom");
     if (std::isinf(t))
         return t > 0 ? 1.0 : 0.0;
     const double x = df / (df + t * t);

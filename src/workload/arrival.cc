@@ -1,6 +1,7 @@
 #include "workload/arrival.h"
 
-#include <cassert>
+#include "check/check.h"
+
 #include <utility>
 
 namespace ursa::workload
@@ -9,15 +10,18 @@ namespace ursa::workload
 sim::RateProfile
 constantRate(double rps)
 {
-    assert(rps >= 0.0);
+    URSA_CHECK(rps >= 0.0, "workload.arrival",
+               "constant rate must be non-negative");
     return [rps](sim::SimTime) { return rps; };
 }
 
 sim::RateProfile
 diurnalRate(double baseRps, double peakRps, sim::SimTime period)
 {
-    assert(period > 0);
-    assert(peakRps >= baseRps);
+    URSA_CHECK(period > 0, "workload.arrival",
+               "diurnal profile with a non-positive period");
+    URSA_CHECK(peakRps >= baseRps, "workload.arrival",
+               "diurnal peak below base rate");
     return [=](sim::SimTime t) {
         const double phase =
             static_cast<double>(t % period) / static_cast<double>(period);
@@ -30,7 +34,8 @@ sim::RateProfile
 burstRate(double baseRps, double burstFrac, sim::SimTime burstStart,
           sim::SimTime burstLen)
 {
-    assert(burstFrac >= 0.0);
+    URSA_CHECK(burstFrac >= 0.0, "workload.arrival",
+               "burst profile with a negative burst fraction");
     return [=](sim::SimTime t) {
         if (t >= burstStart && t < burstStart + burstLen)
             return baseRps * (1.0 + burstFrac);

@@ -1,6 +1,6 @@
 #include "workload/trace.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace ursa::workload
 {
@@ -27,7 +27,8 @@ ArrivalTrace
 makePoissonTrace(stats::Rng &rng, sim::SimTime duration, double rps,
                  const std::vector<double> &classWeights)
 {
-    assert(rps > 0.0);
+    URSA_CHECK(rps > 0.0, "workload.trace",
+               "Poisson trace with a non-positive rate");
     ArrivalTrace trace;
     const double meanGapUs = 1e6 / rps;
     sim::SimTime t = 0;
@@ -47,7 +48,8 @@ TraceReplayClient::TraceReplayClient(sim::Cluster &cluster,
     : cluster_(cluster), trace_(std::move(trace)), loop_(loop),
       rateScale_(rateScale)
 {
-    assert(rateScale_ > 0.0);
+    URSA_CHECK(rateScale_ > 0.0, "workload.trace",
+               "trace replay with a non-positive rate scale");
 }
 
 void
