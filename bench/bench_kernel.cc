@@ -8,9 +8,13 @@
  * judged by; results land in BENCH_kernel.json.
  *
  * Environment:
- *   URSA_BENCH_REPS     repetitions (default 5; best rep is reported)
- *   URSA_BENCH_SIM_MIN  simulated minutes per rep (default 10)
- *   URSA_BENCH_OUT      output JSON path (default BENCH_kernel.json)
+ *   URSA_BENCH_REPS       repetitions (default 5; best rep is reported)
+ *   URSA_BENCH_SIM_MIN    simulated minutes per rep (default 10)
+ *   URSA_BENCH_OUT        output JSON path (default BENCH_kernel.json)
+ *   URSA_TRACE_SAMPLING   request-sampling rate of the span tracer
+ *                         (default 0 = disabled; used by the CI smoke
+ *                         to bound tracing overhead and verify the
+ *                         zero-perturbation contract)
  */
 
 #include "common.h"
@@ -52,6 +56,8 @@ runOnce(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
     using namespace ursa;
     sim::Cluster cluster(seed);
     app.instantiate(cluster);
+    if (const char *s = std::getenv("URSA_TRACE_SAMPLING"))
+        cluster.tracer().setSampling(std::atof(s));
     sim::OpenLoopClient client(cluster,
                                workload::constantRate(app.nominalRps),
                                sim::fixedMix(app.exploreMix), seed + 5);

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI smoke for the DES kernel bench + the ursa::trace overhead contract.
+
+Wall-clock throughput is machine-dependent, so CI cannot compare ev/s
+against the numbers in BENCH_kernel.json directly. What it CAN check,
+bit-exactly and cheaply, is everything the tracing layer promises:
+
+  1. determinism  — a tracer-disabled run reproduces the exact event
+                    and request counts recorded in BENCH_kernel.json
+                    (same app, seed, and simulated span);
+  2. zero perturbation — a sampling=1.0 run executes the *same* events
+                    as the disabled run (tracing observes, never
+                    steers);
+  3. bounded overhead — full-rate tracing keeps at least
+                    --min-traced-ratio of the disabled run's
+                    throughput, both runs measured back to back on the
+                    same machine. The disabled run's overhead (the
+                    one-branch-per-request gate) is below run-to-run
+                    noise by construction and is bounded locally
+                    against BENCH_kernel.json when baselines are
+                    refreshed.
+
+Usage:
+  bench_smoke.py --bench build/bench/bench_kernel \
+                 --reference BENCH_kernel.json [--min-traced-ratio 0.5]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_bench(bench, sampling, sim_minutes, out_path):
+    env = dict(os.environ)
+    env["URSA_BENCH_REPS"] = "1"
+    env["URSA_BENCH_SIM_MIN"] = str(sim_minutes)
+    env["URSA_BENCH_OUT"] = out_path
+    env["URSA_TRACE_SAMPLING"] = repr(sampling)
+    subprocess.run([bench], env=env, check=True,
+                   stdout=subprocess.DEVNULL)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_kernel binary")
+    ap.add_argument("--reference", required=True,
+                    help="path to BENCH_kernel.json")
+    ap.add_argument("--min-traced-ratio", type=float, default=0.5,
+                    help="minimum (traced ev/s) / (untraced ev/s)")
+    args = ap.parse_args()
+
+    with open(args.reference) as f:
+        ref = json.load(f)
+    sim_minutes = ref["sim_minutes"]
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        off = run_bench(args.bench, 0.0, sim_minutes,
+                        os.path.join(tmp, "off.json"))
+        on = run_bench(args.bench, 1.0, sim_minutes,
+                       os.path.join(tmp, "on.json"))
+
+    # 1. Bit-determinism against the recorded baseline.
+    for key in ("events", "requests"):
+        if off[key] != ref[key]:
+            failures.append(
+                f"tracer-disabled run diverged from {args.reference}: "
+                f"{key} {off[key]} != {ref[key]}")
+
+    # 2. Tracing must not change what the simulation does.
+    for key in ("events", "requests"):
+        if on[key] != off[key]:
+            failures.append(
+                f"sampling=1.0 perturbed the simulation: {key} "
+                f"{on[key]} != {off[key]}")
+
+    # 3. Full-rate tracing overhead bound (same-machine comparison).
+    ratio = on["events_per_sec"] / off["events_per_sec"]
+    print(f"untraced: {off['events_per_sec'] / 1e6:.3f}M ev/s, "
+          f"traced: {on['events_per_sec'] / 1e6:.3f}M ev/s "
+          f"(ratio {ratio:.2f})")
+    if ratio < args.min_traced_ratio:
+        failures.append(
+            f"full-rate tracing too slow: {ratio:.2f} < "
+            f"{args.min_traced_ratio} of untraced throughput")
+
+    if failures:
+        for msg in failures:
+            print(f"bench_smoke FAIL: {msg}", file=sys.stderr)
+        return 1
+    print(f"bench_smoke OK: counts match {args.reference} "
+          f"(events={off['events']}, requests={off['requests']}), "
+          "tracing is zero-perturbation and within the overhead bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

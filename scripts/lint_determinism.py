@@ -17,9 +17,11 @@ ursa::check layer:
                    friends anywhere outside src/stats/rng.* — every
                    stochastic draw must flow through the seeded
                    ursa::stats::Rng.
-  unordered-sim    std::unordered_{map,set} anywhere in src/sim: hash
-                   iteration order is implementation-defined, and any
-                   kernel-side iteration can feed event scheduling.
+  unordered-sim    std::unordered_{map,set} anywhere in src/sim or
+                   src/trace: hash iteration order is implementation-
+                   defined; kernel-side iteration can feed event
+                   scheduling, and trace snapshots/exports are part of
+                   the bit-identical determinism contract.
   unordered-sched  elsewhere in src/: iterating an unordered container
                    in a file that also schedules simulation events
                    (schedule/scheduleIn/submit/invoke/publish calls).
@@ -67,7 +69,12 @@ BARE_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
 # Deterministic layers where wall clocks are banned. Baselines and the
 # exec thread pool legitimately measure wall time (controller inference
 # cost is itself an evaluated quantity).
-WALL_CLOCK_SCOPES = ("sim", "core", "stats", "workload")
+WALL_CLOCK_SCOPES = ("sim", "core", "stats", "workload", "trace")
+
+# Layers whose containers must iterate deterministically: the sim
+# kernel schedules events off them, and the trace layer's span
+# snapshots/exports must be byte-identical across runs.
+UNORDERED_SCOPES = ("sim", "trace")
 
 
 def strip_comments_and_strings(line, in_block):
@@ -196,15 +203,15 @@ def lint_file(path, rel_path, text):
                     "unseeded/library randomness; draw from the owning "
                     "simulation's ursa::stats::Rng"))
 
-        if scope == "sim" and "unordered-sim" not in allow:
+        if scope in UNORDERED_SCOPES and "unordered-sim" not in allow:
             if UNORDERED_USE_RE.search(s):
                 violations.append(Violation(
                     rel_path, line_no, "unordered-sim",
-                    "unordered container in the simulation kernel; hash "
-                    "iteration order is nondeterministic — use "
-                    "std::map/std::vector"))
+                    "unordered container in a deterministic kernel "
+                    "layer; hash iteration order is nondeterministic — "
+                    "use std::map/std::vector"))
 
-        if (scope != "sim" and schedules and iter_re is not None
+        if (scope not in UNORDERED_SCOPES and schedules and iter_re is not None
                 and "unordered-sched" not in allow):
             if iter_re.search(s):
                 violations.append(Violation(
@@ -257,6 +264,12 @@ SELF_TEST_BAIT = [
     ("sim/bad_unordered.cc",
      "#include <unordered_map>\n"
      "std::unordered_map<int, int> table;\n", "unordered-sim"),
+    ("trace/bad_span_index.cc",
+     "#include <unordered_map>\n"
+     "std::unordered_map<std::uint64_t, int> openSpans;\n",
+     "unordered-sim"),
+    ("trace/bad_export_clock.cc",
+     "auto t0 = std::chrono::system_clock::now();\n", "wall-clock"),
     ("core/bad_iter.cc",
      "std::unordered_map<int, double> rates;\n"
      "void go() {\n"

@@ -1,7 +1,9 @@
 #include "core/bp_profiler.h"
 
+#include "check/check.h"
 #include "core/harness.h"
 #include "stats/welch.h"
+#include "trace/export.h"
 
 #include <algorithm>
 #include <cmath>
@@ -19,7 +21,57 @@ struct StepMeasurement
     double proxyP99 = 0.0;
     double testedP99 = 0.0;
     double utilization = 0.0;
+    BpAttribution attribution;
 };
+
+/** Span ring capacity per step (bounds memory at full-rate steps). */
+constexpr std::size_t kStepRingCapacity = 1u << 17;
+
+/**
+ * Build the step's critical-path attribution from the tracer's spans
+ * and audit it against the windowed tier-latency metric: the tested
+ * hop's span time (queue + service) and MetricsRegistry::tierLatency
+ * measure the same finished invocations through two independent
+ * pipelines, so their means must agree. Divergence means one of the
+ * measurement paths lost or double-counted intervals.
+ */
+BpAttribution
+attributeStep(const IsolatedHarness &h, sim::SimTime warmup,
+              sim::SimTime end, double metricsTestedMeanUs,
+              std::size_t metricsTestedCount)
+{
+    BpAttribution attr;
+    const auto &tracer = h.cluster->tracer();
+    const auto rows = trace::tierBreakdown(tracer.snapshot(), warmup, end);
+    for (const trace::TierBreakdown &row : rows) {
+        if (row.serviceId == h.proxyId) {
+            attr.proxySpans = row.spans;
+            attr.proxyQueueUs = row.meanQueueUs;
+            attr.proxyServiceUs = row.meanServiceUs;
+            attr.proxyBlockedUs = row.meanBlockedUs;
+        } else if (row.serviceId == h.testedId) {
+            attr.testedSpans = row.spans;
+            attr.testedQueueUs = row.meanQueueUs;
+            attr.testedServiceUs = row.meanServiceUs;
+            const double spanMean =
+                row.meanQueueUs + row.meanServiceUs;
+            // Redundant-measurement audit. Gated on healthy sample
+            // sizes and an untruncated ring so sampling noise cannot
+            // fire it; 25% + 1 ms absorbs reservoir-vs-sample jitter.
+            if (tracer.dropped() == 0 && row.spans >= 1000 &&
+                metricsTestedCount >= 1000) {
+                const double tol =
+                    0.25 * metricsTestedMeanUs + 1000.0;
+                URSA_CHECK(std::fabs(spanMean - metricsTestedMeanUs) <=
+                               tol,
+                           "core.bp_profiler",
+                           "span-derived tested-tier latency diverges "
+                           "from the windowed tierLatency metric");
+            }
+        }
+    }
+    return attr;
+}
 
 StepMeasurement
 measureStep(const apps::AppSpec &app, int serviceIdx,
@@ -34,6 +86,10 @@ measureStep(const apps::AppSpec &app, int serviceIdx,
                                             proxyThreads,
                                             opts.sampleWindow);
     h.cluster->service(h.testedId).setCpuLimitPerReplica(cpuLimit);
+    if (opts.traceSampling > 0.0) {
+        h.cluster->tracer().setCapacity(kStepRingCapacity);
+        h.cluster->tracer().setSampling(opts.traceSampling);
+    }
     h.client->start(0);
 
     const sim::SimTime warmup = opts.stepDuration / 4;
@@ -60,6 +116,10 @@ measureStep(const apps::AppSpec &app, int serviceIdx,
     m.proxyP99 = proxyAll.empty() ? 0.0 : proxyAll.percentile(99.0);
     m.testedP99 = testedAll.empty() ? 0.0 : testedAll.percentile(99.0);
     m.utilization = metrics.cpuUtilization(h.testedId, warmup, end);
+    if (opts.traceSampling > 0.0) {
+        m.attribution = attributeStep(h, warmup, end, testedAll.mean(),
+                                      testedAll.count());
+    }
     return m;
 }
 
@@ -100,8 +160,8 @@ profileBackpressureThreshold(const apps::AppSpec &app, int serviceIdx,
         const StepMeasurement cur = measureStep(
             app, serviceIdx, rates, limit, demand,
             seed + 1000 * (k + 1), opts);
-        res.steps.push_back(
-            {limit, cur.proxyP99, cur.testedP99, cur.utilization});
+        res.steps.push_back({limit, cur.proxyP99, cur.testedP99,
+                             cur.utilization, cur.attribution});
         res.timeSpent += opts.stepDuration + opts.stepDuration / 4;
 
         if (havePrev &&

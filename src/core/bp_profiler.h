@@ -21,6 +21,34 @@
 namespace ursa::core
 {
 
+/**
+ * Span-derived critical-path attribution of one sweep step: mean
+ * queue/service/blocked intervals of the proxy and tested hops, built
+ * from `ursa::trace` request spans. The proxy's blocked-on-child share
+ * is exactly the backpressure signal the profiler infers indirectly
+ * from its latency convergence test — spans make it attributable
+ * per request instead of per window.
+ */
+struct BpAttribution
+{
+    std::uint64_t proxySpans = 0;
+    std::uint64_t testedSpans = 0;
+    double proxyQueueUs = 0.0;
+    double proxyServiceUs = 0.0;
+    /// Proxy time spent waiting on the tested service's response.
+    double proxyBlockedUs = 0.0;
+    double testedQueueUs = 0.0;
+    double testedServiceUs = 0.0;
+
+    /** Fraction of proxy hop time spent blocked on the tested tier. */
+    double proxyBlockedShare() const
+    {
+        const double total =
+            proxyQueueUs + proxyServiceUs + proxyBlockedUs;
+        return total > 0.0 ? proxyBlockedUs / total : 0.0;
+    }
+};
+
 /** One CPU-limit step of the sweep (a point on a Fig.-4 curve). */
 struct BpStep
 {
@@ -28,6 +56,7 @@ struct BpStep
     double proxyP99Us = 0.0;   ///< proxy 99th-percentile latency
     double testedP99Us = 0.0;  ///< tested-service 99th-percentile latency
     double utilization = 0.0;  ///< tested-service CPU utilization
+    BpAttribution attribution; ///< span-derived critical-path split
 };
 
 /** Result of profiling one service. */
@@ -60,6 +89,15 @@ struct BpProfilerOptions
     /** Scale the driven load so CPU demand is about this many cores
      * (keeps the sweep cheap; the threshold is a ratio). */
     double targetDemandCores = 2.0;
+    /**
+     * Request-sampling rate of the span tracer inside each step. The
+     * spans feed BpStep::attribution and a redundant-measurement audit
+     * (the span-derived tested-tier latency must agree with the
+     * windowed tierLatency metric — both observe the same finished
+     * invocations). Deterministic per request id, so the sweep stays
+     * bit-identical across URSA_THREADS. 0 disables.
+     */
+    double traceSampling = 0.25;
     /**
      * Proxy worker-pool headroom over the nominal thread occupancy
      * (lambda x uncontended sojourn ~ CPU demand). A nested-RPC proxy

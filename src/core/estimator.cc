@@ -1,5 +1,7 @@
 #include "core/estimator.h"
 
+#include "check/check.h"
+
 #include <stdexcept>
 
 namespace ursa::core
@@ -25,6 +27,16 @@ void
 LatencyEstimator::observe(int classId, double measuredUs)
 {
     const double ub = upper_.at(classId);
+    // A measurement with no upper bound or a non-positive latency means
+    // the caller wired the estimator wrong (bounds not seeded from
+    // exploration, or a negative interval upstream). Dropping it
+    // silently freezes the ratio at a stale value; surface the
+    // violation instead, then degrade gracefully for captured/level-0
+    // builds.
+    URSA_CHECK(ub > 0.0, "core.estimator",
+               "observe() before the class's upper bound was set");
+    URSA_CHECK(measuredUs > 0.0, "core.estimator",
+               "observe() with a non-positive latency measurement");
     if (ub <= 0.0 || measuredUs <= 0.0)
         return;
     const double r = measuredUs / ub;

@@ -3,6 +3,12 @@
  * Load drivers: the open-loop Poisson client (the paper's Locust setup,
  * Sec. VII-A) and a closed-loop client (finite users with think time)
  * used by the backpressure case study of Sec. III.
+ *
+ * Tracing: every request a client injects goes through
+ * Cluster::submit(), which applies the tracer's deterministic
+ * hash-of-request-id sampling gate and emits the client-side root span
+ * (submit until fully done) on the request's behalf — the hop spans of
+ * the service tiers all descend from it.
  */
 
 #ifndef URSA_SIM_CLIENT_H

@@ -128,6 +128,10 @@ Cluster::submit(ClassId c)
     req->classId = c;
     req->priority = spec.priority;
     req->submitTime = events_.now();
+    if (tracer_.enabled() && tracer_.sampleRequest(req->id)) {
+        req->traced = true;
+        req->rootSpan = tracer_.nextSpanId();
+    }
 
     const ServiceId root = serviceId(spec.rootService);
     invoke(root, req, [this, req] {
@@ -141,12 +145,13 @@ Cluster::submit(ClassId c)
                                     req->syncDoneTime - req->submitTime);
         }
         maybeFinishRequest(req);
-    });
+    }, req->rootSpan, trace::HopKind::NestedRpc);
     return req;
 }
 
 InvocationPtr
-Cluster::makeInvocation(ServiceId target, const RequestPtr &req)
+Cluster::makeInvocation(ServiceId target, const RequestPtr &req,
+                        trace::SpanId parentSpan, trace::HopKind hop)
 {
     Service &svc = *services_.at(target);
     const auto bit = svc.config().behaviors.find(req->classId);
@@ -162,24 +167,32 @@ Cluster::makeInvocation(ServiceId target, const RequestPtr &req)
     inv->behavior = &bit->second;
     inv->targets = &resolved_.at(target).at(req->classId);
     inv->arrival = events_.now();
+    if (req->traced) {
+        inv->span = tracer_.nextSpanId();
+        inv->parentSpan = parentSpan;
+        inv->hopKind = hop;
+    }
     return inv;
 }
 
 void
 Cluster::invoke(ServiceId target, const RequestPtr &req,
-                EventQueue::Callback onSyncDone)
+                EventQueue::Callback onSyncDone, trace::SpanId parentSpan,
+                trace::HopKind hop)
 {
-    InvocationPtr inv = makeInvocation(target, req);
+    InvocationPtr inv = makeInvocation(target, req, parentSpan, hop);
     inv->onSyncDone = std::move(onSyncDone);
     metrics_.recordArrival(target, req->classId, events_.now());
     services_.at(target)->dispatch(std::move(inv));
 }
 
 void
-Cluster::publishTo(ServiceId target, const RequestPtr &req)
+Cluster::publishTo(ServiceId target, const RequestPtr &req,
+                   trace::SpanId parentSpan)
 {
     // Queue wait counts toward the tier, so arrival is at publish time.
-    InvocationPtr inv = makeInvocation(target, req);
+    InvocationPtr inv = makeInvocation(target, req, parentSpan,
+                                       trace::HopKind::MqPublish);
     inv->onSyncDone = [this, req] { asyncBranchDone(req); };
     metrics_.recordArrival(target, req->classId, events_.now());
     services_.at(target)->publish(std::move(inv));
@@ -203,6 +216,19 @@ Cluster::maybeFinishRequest(const RequestPtr &req)
     ++completed_;
     URSA_CHECK(completed_ <= submitted_, "sim.cluster",
                "request conservation violation: completed > injected");
+    if (req->traced) {
+        // The client-side root span covers the full request lifetime
+        // (submit until the sync path and every async branch finished).
+        trace::Span s;
+        s.id = req->rootSpan;
+        s.requestId = req->id;
+        s.classId = req->classId;
+        s.kind = trace::HopKind::Client;
+        s.start = req->submitTime;
+        s.serviceStart = req->submitTime;
+        s.end = req->allDoneTime;
+        tracer_.record(s);
+    }
     const RequestClassSpec &spec = classes_.at(req->classId);
     if (spec.asyncCompletion) {
         metrics_.recordEndToEnd(req->classId, events_.now(),

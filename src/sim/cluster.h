@@ -21,6 +21,7 @@
 #include "sim/time.h"
 #include "sim/types.h"
 #include "stats/rng.h"
+#include "trace/tracer.h"
 
 #include <map>
 #include <memory>
@@ -88,12 +89,19 @@ class Cluster
 
     // --- internal routing (used by Replica) ---------------------------
 
-    /** Invoke `target` for `req`; `onSyncDone` resumes the caller. */
+    /**
+     * Invoke `target` for `req`; `onSyncDone` resumes the caller.
+     * `parentSpan`/`hop` link the new hop's span to the caller's when
+     * the request is traced (ignored otherwise).
+     */
     void invoke(ServiceId target, const RequestPtr &req,
-                EventQueue::Callback onSyncDone);
+                EventQueue::Callback onSyncDone,
+                trace::SpanId parentSpan = trace::kNoSpan,
+                trace::HopKind hop = trace::HopKind::NestedRpc);
 
     /** Publish `req` onto `target`'s message queue (async branch). */
-    void publishTo(ServiceId target, const RequestPtr &req);
+    void publishTo(ServiceId target, const RequestPtr &req,
+                   trace::SpanId parentSpan = trace::kNoSpan);
 
     /** An async branch of `req` finished. */
     void asyncBranchDone(const RequestPtr &req);
@@ -104,6 +112,15 @@ class Cluster
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
     stats::Rng &rng() { return rng_; }
+
+    /**
+     * Request-flow tracer (sampling 0 = disabled, the default). Enable
+     * with tracer().setSampling(rate) before or between runs; the
+     * sampled-request set depends only on request ids, so traces are
+     * bit-identical across URSA_THREADS settings.
+     */
+    trace::Tracer &tracer() { return tracer_; }
+    const trace::Tracer &tracer() const { return tracer_; }
 
     /** Total CPU cores currently allocated across all services. */
     double totalCpuAllocation() const;
@@ -141,13 +158,16 @@ class Cluster
   private:
     void samplerTick();
     void maybeFinishRequest(const RequestPtr &req);
-    InvocationPtr makeInvocation(ServiceId target, const RequestPtr &req);
+    InvocationPtr makeInvocation(ServiceId target, const RequestPtr &req,
+                                 trace::SpanId parentSpan,
+                                 trace::HopKind hop);
 
     EventQueue events_;
     /// Freelist arena recycling Request/Invocation nodes (hot path).
     std::shared_ptr<PoolArena> pool_ = std::make_shared<PoolArena>();
     stats::Rng rng_;
     MetricsRegistry metrics_;
+    trace::Tracer tracer_;
     std::vector<std::unique_ptr<Service>> services_;
     std::map<std::string, ServiceId> serviceByName_;
     std::vector<RequestClassSpec> classes_;

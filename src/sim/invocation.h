@@ -12,6 +12,7 @@
 #include "sim/callback.h"
 #include "sim/time.h"
 #include "sim/types.h"
+#include "trace/span.h"
 
 #include <memory>
 
@@ -43,6 +44,14 @@ struct Invocation : std::enable_shared_from_this<Invocation>
     bool onDaemon = false;
     /// Replica executing this invocation (set when a worker picks it up).
     Replica *replica = nullptr;
+
+    /// Tracing (set only for sampled requests): this hop's span, the
+    /// caller hop's span, how the request reached this hop, and when a
+    /// worker picked the invocation up (end of queue wait).
+    trace::SpanId span = trace::kNoSpan;
+    trace::SpanId parentSpan = trace::kNoSpan;
+    trace::HopKind hopKind = trace::HopKind::NestedRpc;
+    SimTime serviceStart = -1;
 
     /// Continuation: resume the parent (nested RPC) or complete the
     /// async branch (MQ / event-driven) or answer the client (root).

@@ -2,6 +2,7 @@
 
 #include "check/check.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ursa::sim
@@ -115,13 +116,20 @@ MetricsRegistry::arrivalRate(ServiceId s, ClassId c, SimTime from,
 {
     if (to <= from)
         return 0.0;
-    std::uint64_t count = 0;
+    // Edge windows overlap the range only partially; counting them in
+    // full while dividing by the clipped span inflates the rate, so
+    // clip their contribution pro-rata to the overlap fraction.
+    double count = 0.0;
     for (const auto &w : services_.at(s).arrivals.at(c).windows()) {
-        if (w.start + window_ <= from || w.start >= to)
+        const SimTime overlap =
+            std::min(to, w.start + window_) - std::max(from, w.start);
+        if (overlap <= 0)
             continue;
-        count += w.stats.count();
+        count += static_cast<double>(w.stats.count()) *
+                 static_cast<double>(overlap) /
+                 static_cast<double>(window_);
     }
-    return static_cast<double>(count) / toSec(to - from);
+    return count / toSec(to - from);
 }
 
 double
@@ -166,21 +174,29 @@ MetricsRegistry::replicaSeries(ServiceId s) const
 namespace
 {
 
-/** Count (windows, violating windows) of one class over [from, to). */
-std::pair<std::uint64_t, std::uint64_t>
+/**
+ * Weighted (windows, violating windows) of one class over [from, to).
+ * Edge windows that only partially overlap the range contribute
+ * fractionally, mirroring the pro-rata clipping of arrivalRate — a
+ * range cutting a violating window in half should not count a full
+ * bad window against a half-sized denominator.
+ */
+std::pair<double, double>
 windowViolations(const stats::WindowAggregator &agg, const SlaSpec &sla,
                  SimTime window, SimTime from, SimTime to)
 {
-    std::uint64_t total = 0, bad = 0;
+    double total = 0.0, bad = 0.0;
     for (const auto &w : agg.windows()) {
-        if (w.start + window <= from || w.start >= to)
+        const SimTime overlap =
+            std::min(to, w.start + window) - std::max(from, w.start);
+        if (overlap <= 0 || w.samples.empty())
             continue;
-        if (w.samples.empty())
-            continue;
-        ++total;
+        const double weight = static_cast<double>(overlap) /
+                              static_cast<double>(window);
+        total += weight;
         if (w.samples.percentile(sla.percentile) >
             static_cast<double>(sla.targetUs))
-            ++bad;
+            bad += weight;
     }
     return {total, bad};
 }
@@ -193,28 +209,30 @@ MetricsRegistry::slaViolationRate(ClassId c, SimTime from, SimTime to) const
     const PerClass &pc = classes_.at(c);
     const auto [total, bad] =
         windowViolations(pc.e2e, pc.sla, window_, from, to);
-    return total ? static_cast<double>(bad) / static_cast<double>(total)
-                 : 0.0;
+    return total > 0.0 ? bad / total : 0.0;
 }
 
 double
 MetricsRegistry::overallSlaViolationRate(SimTime from, SimTime to) const
 {
-    std::uint64_t total = 0, bad = 0;
+    double total = 0.0, bad = 0.0;
     for (const PerClass &pc : classes_) {
         const auto [t, b] =
             windowViolations(pc.e2e, pc.sla, window_, from, to);
         total += t;
         bad += b;
     }
-    return total ? static_cast<double>(bad) / static_cast<double>(total)
-                 : 0.0;
+    return total > 0.0 ? bad / total : 0.0;
 }
 
 double
 MetricsRegistry::requestViolationRate(ClassId c, SimTime from,
                                       SimTime to) const
 {
+    // Edge windows are included in full here on purpose: this is a
+    // ratio of request counts with no division by the range's span, so
+    // the pro-rata clipping that arrivalRate and windowViolations need
+    // would only distort which requests are counted.
     const PerClass &pc = classes_.at(c);
     std::uint64_t done = 0, bad = 0;
     for (const auto &[wstart, counts] : pc.byWindow) {

@@ -91,6 +91,10 @@ void
 Replica::begin(InvocationPtr inv)
 {
     inv->replica = this;
+    // End of queue wait: a worker picked the invocation up. Recorded
+    // unconditionally (one store) so traced spans can split queue wait
+    // from service time.
+    inv->serviceStart = svc_.cluster().events().now();
     auto &rng = svc_.cluster().rng();
     const double work =
         rng.lognormal(inv->behavior->computeMeanUs, inv->behavior->computeCv);
@@ -137,7 +141,7 @@ Replica::advance(const InvocationPtr &inv)
             const ServiceId tgt = (*inv->targets)[k];
             if (calls[k].kind == CallKind::MqPublish) {
                 inv->req->outstandingAsync += 1;
-                c.publishTo(tgt, inv->req);
+                c.publishTo(tgt, inv->req, inv->span);
                 continue;
             }
             ++*pendingJoins;
@@ -147,7 +151,10 @@ Replica::advance(const InvocationPtr &inv)
                         svc_.cluster().events().now() - t0;
                     advance(inv);
                 }
-            });
+            }, inv->span,
+            calls[k].kind == CallKind::EventRpc
+                ? trace::HopKind::EventRpc
+                : trace::HopKind::NestedRpc);
         }
         if (*pendingJoins == 0)
             advance(inv); // only fire-and-forget calls
@@ -165,7 +172,7 @@ Replica::advance(const InvocationPtr &inv)
             inv->blockedUs += svc_.cluster().events().now() - t0;
             ++inv->callIdx;
             advance(inv);
-        });
+        }, inv->span, trace::HopKind::NestedRpc);
         return;
       }
       case CallKind::EventRpc: {
@@ -180,7 +187,7 @@ Replica::advance(const InvocationPtr &inv)
                 inv->blockedUs += svc_.cluster().events().now() - t0;
                 ++inv->callIdx;
                 advance(inv);
-            });
+            }, inv->span, trace::HopKind::EventRpc);
             return;
         }
         inv->onDaemon = true;
@@ -200,7 +207,7 @@ Replica::advance(const InvocationPtr &inv)
                 inv->blockedUs += svc_.cluster().events().now() - t0;
                 ++inv->callIdx;
                 advance(inv);
-            });
+            }, inv->span, trace::HopKind::EventRpc);
         });
         // The worker is free while the daemon waits.
         releaseWorker();
@@ -208,7 +215,7 @@ Replica::advance(const InvocationPtr &inv)
       }
       case CallKind::MqPublish: {
         inv->req->outstandingAsync += 1;
-        cluster.publishTo(target, inv->req);
+        cluster.publishTo(target, inv->req, inv->span);
         ++inv->callIdx;
         advance(inv);
         return;
@@ -234,6 +241,21 @@ Replica::finish(const InvocationPtr &inv)
                                             inv->req->classId, now,
                                             now - inv->arrival -
                                                 inv->blockedUs);
+    }
+
+    if (inv->span != trace::kNoSpan) {
+        trace::Span s;
+        s.id = inv->span;
+        s.parent = inv->parentSpan;
+        s.requestId = inv->req->id;
+        s.classId = inv->req->classId;
+        s.serviceId = inv->serviceId;
+        s.kind = inv->hopKind;
+        s.start = inv->arrival;
+        s.serviceStart = inv->serviceStart;
+        s.end = now;
+        s.blockedUs = inv->blockedUs;
+        cluster.tracer().record(s);
     }
 
     auto cont = std::move(inv->onSyncDone);

@@ -8,6 +8,7 @@
 #define URSA_SIM_TYPES_H
 
 #include "sim/time.h"
+#include "trace/span.h"
 
 #include <cstdint>
 #include <functional>
@@ -115,6 +116,12 @@ struct Request
     SimTime allDoneTime = -1;
     int outstandingAsync = 0;
     bool syncDone = false;
+
+    /// Selected by the tracer's deterministic hash-of-id gate at
+    /// submit; every hop of a traced request emits a span.
+    bool traced = false;
+    /// Client root span id of a traced request (kNoSpan otherwise).
+    trace::SpanId rootSpan = trace::kNoSpan;
 
     /** Invoked exactly once when sync + all async branches are done. */
     std::function<void(Request &)> onFullyDone;

@@ -142,11 +142,74 @@ SampleSet::reset()
 void
 SampleSet::merge(const SampleSet &other)
 {
-    for (double v : other.samples_)
-        add(v);
-    // add() already incremented observed_ once per retained sample; account
-    // for samples the other set observed but did not retain.
-    observed_ += other.observed_ - other.samples_.size();
+    if (other.observed_ == 0)
+        return;
+
+    // Fold the exact counters first: threshold exceedances the other
+    // set observed but did not retain in its reservoir must survive the
+    // merge, or fractionAbove undercounts.
+    const std::size_t selfObserved = observed_;
+    const std::size_t otherObserved = other.observed_;
+    observed_ = selfObserved + otherObserved;
+    if (trackAbove_) {
+        if (other.trackAbove_ && other.aboveThreshold_ == aboveThreshold_) {
+            aboveCount_ += other.aboveCount_;
+        } else if (!other.samples_.empty()) {
+            // The other set tracked no (or a different) threshold: the
+            // best available estimate scales its retained exceedances
+            // to its observed count.
+            std::size_t above = 0;
+            for (double v : other.samples_)
+                if (v > aboveThreshold_)
+                    ++above;
+            aboveCount_ += above * otherObserved / other.samples_.size();
+        }
+    }
+    sortedValid_ = false;
+
+    // Reservoir union. Each retained sample stands for observed/retained
+    // observations of its source stream; feeding the other set through
+    // add() would weight it by the local observed_ instead, starving
+    // whichever set is merged second.
+    if (capacity_ == 0 ||
+        samples_.size() + other.samples_.size() <= capacity_) {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        return;
+    }
+    // Weighted sampling without replacement (Efraimidis-Spirakis): keep
+    // the `capacity_` candidates with the largest u^(1/w), where w is
+    // the per-sample representation weight. Draws come from the local
+    // deterministic stream, so merges stay reproducible.
+    struct Candidate
+    {
+        double key;
+        double value;
+    };
+    std::vector<Candidate> pool;
+    pool.reserve(samples_.size() + other.samples_.size());
+    auto push = [&](const std::vector<double> &vals, std::size_t observed) {
+        if (vals.empty())
+            return;
+        const double w = static_cast<double>(observed) /
+                         static_cast<double>(vals.size());
+        for (double v : vals) {
+            // u in (0, 1]; key = u^(1/w) compared via log for stability.
+            const double u =
+                (static_cast<double>(nextState(rngState_) >> 11) + 1.0) *
+                0x1.0p-53;
+            pool.push_back({std::log(u) / w, v});
+        }
+    };
+    push(samples_, selfObserved);
+    push(other.samples_, otherObserved);
+    std::nth_element(pool.begin(), pool.begin() + capacity_, pool.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.key > b.key;
+                     });
+    samples_.clear();
+    for (std::size_t i = 0; i < capacity_; ++i)
+        samples_.push_back(pool[i].value);
 }
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)

@@ -66,7 +66,17 @@ class SampleSet
     /** Drop all samples. */
     void reset();
 
-    /** Merge retained samples of another set (exact-mode only use). */
+    /**
+     * Merge another set into this one. Exact counters (observed,
+     * threshold exceedances) fold first, so fractionAbove stays exact
+     * after the merge even when the other set's reservoir dropped the
+     * exceeding samples. When the union of retained samples overflows
+     * the capacity, the merged reservoir is drawn by weighted sampling
+     * without replacement with each retained sample weighted by its
+     * source's observed/retained ratio — both streams end up
+     * represented in proportion to what they observed, not to what
+     * they happened to retain.
+     */
     void merge(const SampleSet &other);
 
   private:

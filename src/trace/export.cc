@@ -1,0 +1,137 @@
+#include "trace/export.h"
+
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace ursa::trace
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are plain identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** Viewer pid: services keep their id + 1; the client is pid 0. */
+int
+viewerPid(int serviceId)
+{
+    return serviceId >= 0 ? serviceId + 1 : 0;
+}
+
+std::string
+lookupName(const std::vector<std::string> &names, int id,
+           const char *fallbackPrefix)
+{
+    if (id >= 0 && static_cast<std::size_t>(id) < names.size() &&
+        !names[id].empty())
+        return names[id];
+    return std::string(fallbackPrefix) + std::to_string(id);
+}
+
+} // namespace
+
+void
+writeChromeTrace(const std::vector<Span> &spans,
+                 const std::vector<std::string> &serviceNames,
+                 const std::vector<std::string> &classNames,
+                 std::ostream &out)
+{
+    out << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    // Process-name metadata rows: one per service plus the client.
+    std::map<int, std::string> pids;
+    pids[0] = "client";
+    for (const Span &s : spans)
+        if (s.serviceId >= 0)
+            pids[viewerPid(s.serviceId)] =
+                lookupName(serviceNames, s.serviceId, "service-");
+    for (const auto &[pid, name] : pids) {
+        sep();
+        out << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+    }
+
+    for (const Span &s : spans) {
+        const std::string label =
+            (s.serviceId >= 0
+                 ? lookupName(serviceNames, s.serviceId, "service-")
+                 : std::string("client")) +
+            "/" + lookupName(classNames, s.classId, "class-");
+        sep();
+        out << "  {\"name\":\"" << jsonEscape(label) << "\",\"cat\":\""
+            << hopKindName(s.kind) << "\",\"ph\":\"X\",\"ts\":" << s.start
+            << ",\"dur\":" << s.totalUs()
+            << ",\"pid\":" << viewerPid(s.serviceId)
+            << ",\"tid\":" << s.requestId << ",\"args\":{\"span\":" << s.id
+            << ",\"parent\":" << s.parent
+            << ",\"queue_us\":" << s.queueWaitUs()
+            << ",\"service_us\":" << s.serviceUs()
+            << ",\"blocked_us\":" << s.blockedUs << "}}";
+    }
+    out << "\n]\n";
+}
+
+std::vector<TierBreakdown>
+tierBreakdown(const std::vector<Span> &spans, std::int64_t from,
+              std::int64_t to)
+{
+    struct Acc
+    {
+        std::uint64_t n = 0;
+        double queue = 0.0, service = 0.0, blocked = 0.0;
+        std::vector<double> totals, tiers;
+    };
+    std::map<int, Acc> byService;
+    for (const Span &s : spans) {
+        if (s.end < from || s.end >= to)
+            continue;
+        Acc &a = byService[s.serviceId];
+        ++a.n;
+        a.queue += static_cast<double>(s.queueWaitUs());
+        a.service += static_cast<double>(s.serviceUs());
+        a.blocked += static_cast<double>(s.blockedUs);
+        a.totals.push_back(static_cast<double>(s.totalUs()));
+        a.tiers.push_back(
+            static_cast<double>(s.queueWaitUs() + s.serviceUs()));
+    }
+
+    std::vector<TierBreakdown> out;
+    out.reserve(byService.size());
+    for (auto &[serviceId, a] : byService) {
+        TierBreakdown row;
+        row.serviceId = serviceId;
+        row.spans = a.n;
+        const double n = static_cast<double>(a.n);
+        row.meanQueueUs = a.queue / n;
+        row.meanServiceUs = a.service / n;
+        row.meanBlockedUs = a.blocked / n;
+        row.p99TotalUs = stats::percentileOf(std::move(a.totals), 99.0);
+        row.p99TierUs = stats::percentileOf(std::move(a.tiers), 99.0);
+        out.push_back(row);
+    }
+    return out;
+}
+
+} // namespace ursa::trace

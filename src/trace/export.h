@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Span consumers: the Chrome `trace_event` JSON exporter (load the
+ * file in chrome://tracing or ui.perfetto.dev) and the per-tier
+ * latency-breakdown table that turns raw spans into the paper's
+ * queue/service/blocked attribution (the Fig. 2 story per tier).
+ *
+ * The exporters take plain name vectors instead of a Cluster so the
+ * trace layer stays below the simulation kernel in the dependency
+ * order.
+ */
+
+#ifndef URSA_TRACE_EXPORT_H
+#define URSA_TRACE_EXPORT_H
+
+#include "trace/span.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ursa::trace
+{
+
+/**
+ * Write spans as a Chrome trace_event JSON array. Each hop becomes a
+ * complete ("ph":"X") event on pid = service, tid = request, so the
+ * viewer groups rows by service and nests a request's hops in time;
+ * span/parent ids, hop kind and the queue/service/blocked split are
+ * attached as args. Client root spans land on a synthetic "client"
+ * process after the services.
+ *
+ * @param spans        Spans to emit (any order).
+ * @param serviceNames Service names indexed by ServiceId ("" allowed).
+ * @param classNames   Class names indexed by ClassId ("" allowed).
+ */
+void writeChromeTrace(const std::vector<Span> &spans,
+                      const std::vector<std::string> &serviceNames,
+                      const std::vector<std::string> &classNames,
+                      std::ostream &out);
+
+/** Per-service latency decomposition over a set of spans. */
+struct TierBreakdown
+{
+    int serviceId = -1; ///< -1 aggregates the client root spans
+    std::uint64_t spans = 0;
+    double meanQueueUs = 0.0;
+    double meanServiceUs = 0.0;
+    double meanBlockedUs = 0.0;
+    double p99TotalUs = 0.0;
+    /// p99 of queue + service time (the paper's S0-R0 tier response
+    /// time, downstream waits excluded) — comparable to
+    /// MetricsRegistry::tierLatency.
+    double p99TierUs = 0.0;
+};
+
+/**
+ * Aggregate spans ending in [from, to) into one row per service,
+ * ordered by serviceId (client rows, serviceId -1, first). Services
+ * with no spans in range produce no row.
+ */
+std::vector<TierBreakdown> tierBreakdown(const std::vector<Span> &spans,
+                                         std::int64_t from,
+                                         std::int64_t to);
+
+} // namespace ursa::trace
+
+#endif // URSA_TRACE_EXPORT_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Span — one record of the request-flow tracing layer: a request's
+ * passage through one service hop (or the client itself). Spans carry
+ * the parent-span link plus the three intervals the paper's analysis
+ * needs (Sec. III / Fig. 2): queue wait (dispatch-or-publish until a
+ * worker picks the invocation up), service time (own compute, queue
+ * excluded), and blocked-on-child time (waiting for synchronous
+ * downstream responses) — together they attribute chain-level effects
+ * like backpressure to a culprit tier per request, not just per
+ * window.
+ *
+ * The layer is deliberately dependency-free (plain integers, no sim
+ * types) so it sits below the simulation kernel; `ursa::sim::Cluster`
+ * owns the Tracer and the kernel emits spans at the request lifecycle
+ * sites.
+ */
+
+#ifndef URSA_TRACE_SPAN_H
+#define URSA_TRACE_SPAN_H
+
+#include <cstdint>
+
+namespace ursa::trace
+{
+
+/** Span identifier, unique within one Tracer. 0 means "no span". */
+using SpanId = std::uint64_t;
+
+/** The null span id (untraced invocation / root parent). */
+constexpr SpanId kNoSpan = 0;
+
+/** How the request reached this hop (paper Fig. 1). */
+enum class HopKind : std::uint8_t
+{
+    Client = 0, ///< the client-side root span (submit -> fully done)
+    NestedRpc,  ///< synchronous RPC from the parent hop
+    EventRpc,   ///< event-driven RPC issued from a daemon thread
+    MqPublish,  ///< consumed from the target's message queue
+};
+
+/** Printable name of a hop kind. */
+const char *hopKindName(HopKind k);
+
+/** One (request, service hop) record. All times are simulated us. */
+struct Span
+{
+    SpanId id = kNoSpan;
+    SpanId parent = kNoSpan;     ///< caller hop's span (kNoSpan at root)
+    std::uint64_t requestId = 0; ///< Request::id (trace id)
+    int classId = -1;
+    /// Service handling the hop; -1 for the client root span.
+    int serviceId = -1;
+    HopKind kind = HopKind::Client;
+    /// Hop start: RPC dispatch / MQ publish time (queue wait counts).
+    std::int64_t start = 0;
+    /// A worker picked the invocation up (end of queue wait).
+    std::int64_t serviceStart = 0;
+    /// Hop completion (continuation fired).
+    std::int64_t end = 0;
+    /// Time spent blocked on synchronous downstream responses.
+    std::int64_t blockedUs = 0;
+
+    /** Queue wait before a worker picked the hop up. */
+    std::int64_t queueWaitUs() const { return serviceStart - start; }
+
+    /** Whole-hop duration (queue + service + blocked). */
+    std::int64_t totalUs() const { return end - start; }
+
+    /** Own service time: total minus queue wait and downstream waits. */
+    std::int64_t serviceUs() const
+    {
+        return end - serviceStart - blockedUs;
+    }
+};
+
+} // namespace ursa::trace
+
+#endif // URSA_TRACE_SPAN_H

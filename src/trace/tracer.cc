@@ -1,0 +1,137 @@
+#include "trace/tracer.h"
+
+#include "check/check.h"
+
+#include <cmath>
+
+namespace ursa::trace
+{
+
+namespace
+{
+
+/**
+ * SplitMix64 finalizer over the request id. Stateless on purpose: the
+ * sampling decision must depend only on the id, never on how many
+ * requests were hashed before it, so parallel shards and reruns agree.
+ */
+std::uint64_t
+mixRequestId(std::uint64_t id)
+{
+    std::uint64_t z = id + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+const char *
+hopKindName(HopKind k)
+{
+    switch (k) {
+      case HopKind::Client:
+        return "client";
+      case HopKind::NestedRpc:
+        return "rpc";
+      case HopKind::EventRpc:
+        return "event-rpc";
+      case HopKind::MqPublish:
+        return "mq";
+    }
+    return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity)
+{
+    URSA_CHECK(capacity_ > 0, "trace.tracer",
+               "tracer configured with a zero-capacity ring");
+}
+
+void
+Tracer::setSampling(double rate)
+{
+    URSA_CHECK(rate >= 0.0 && rate <= 1.0, "trace.tracer",
+               "sampling rate outside [0, 1]");
+    rate_ = std::fmin(std::fmax(rate, 0.0), 1.0);
+    sampleAll_ = rate_ >= 1.0;
+    // Threshold in 64-bit hash space; 2^64 * rate computed via long
+    // double to keep the gate monotone in `rate`.
+    threshold_ = sampleAll_
+                     ? ~0ULL
+                     : static_cast<std::uint64_t>(
+                           static_cast<long double>(rate_) *
+                           18446744073709551616.0L);
+}
+
+bool
+Tracer::sampleRequest(std::uint64_t requestId) const
+{
+    if (rate_ <= 0.0)
+        return false;
+    if (sampleAll_)
+        return true;
+    return mixRequestId(requestId) < threshold_;
+}
+
+void
+Tracer::record(const Span &s)
+{
+    URSA_CHECK(s.id != kNoSpan, "trace.tracer",
+               "recording a span without an id");
+    URSA_CHECK(s.serviceStart >= s.start && s.end >= s.serviceStart,
+               "trace.tracer",
+               "span intervals out of order (start <= serviceStart <= end)");
+    URSA_CHECK(s.blockedUs >= 0 &&
+                   s.blockedUs <= s.end - s.serviceStart,
+               "trace.tracer",
+               "span blocked-on-child interval exceeds its service span");
+    ++recorded_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(s);
+        return;
+    }
+    // Wraparound: overwrite the oldest retained span.
+    ring_[next_] = s;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+}
+
+void
+Tracer::clear()
+{
+    // Span ids and recorded() keep advancing; dropped() restarts so a
+    // consumer can tell whether *its* measurement window was truncated.
+    ring_.clear();
+    next_ = 0;
+    dropped_ = 0;
+}
+
+void
+Tracer::setCapacity(std::size_t capacity)
+{
+    URSA_CHECK(capacity > 0, "trace.tracer",
+               "tracer ring capacity must be positive");
+    ring_.clear();
+    ring_.shrink_to_fit();
+    next_ = 0;
+    dropped_ = 0;
+    capacity_ = capacity;
+}
+
+std::vector<Span>
+Tracer::snapshot() const
+{
+    std::vector<Span> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+        return out;
+    }
+    // Full ring: next_ is the oldest entry.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % capacity_]);
+    return out;
+}
+
+} // namespace ursa::trace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tracer — the ring-buffered, sampling-gated span recorder.
+ *
+ * Sampling is a pure function of the request id (a SplitMix64-style
+ * hash compared against a precomputed 64-bit threshold), so the set of
+ * traced requests for a (topology, workload, seed) triple is
+ * bit-identical across URSA_THREADS settings, platforms and reruns —
+ * the same determinism contract the rest of the kernel obeys
+ * (scripts/lint_determinism.py treats src/trace/ as a deterministic
+ * layer). Disabled tracing (sampling 0, the default) costs one
+ * predictable branch per request lifecycle site; no span storage is
+ * touched.
+ *
+ * Completed spans land in a fixed-capacity ring buffer: long runs stay
+ * bounded in memory and simply retain the most recent spans, with the
+ * overwritten count reported so consumers can detect truncation.
+ */
+
+#ifndef URSA_TRACE_TRACER_H
+#define URSA_TRACE_TRACER_H
+
+#include "trace/span.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ursa::trace
+{
+
+/** Ring-buffered span recorder with deterministic request sampling. */
+class Tracer
+{
+  public:
+    /** Default ring capacity (spans). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    // --- sampling gate ---------------------------------------------
+
+    /**
+     * Set the request sampling rate in [0, 1]. 0 (the default)
+     * disables tracing entirely; 1 traces every request. The decision
+     * per request is hash(requestId) < rate * 2^64 — deterministic and
+     * independent of recording order or thread count.
+     */
+    void setSampling(double rate);
+
+    /** Current sampling rate. */
+    double sampling() const { return rate_; }
+
+    /** Whether any request can be sampled (rate > 0). */
+    bool enabled() const { return rate_ > 0.0; }
+
+    /** Deterministic per-request sampling decision. */
+    bool sampleRequest(std::uint64_t requestId) const;
+
+    // --- span ids ---------------------------------------------------
+
+    /** Allocate the next span id (monotone, never kNoSpan). */
+    SpanId nextSpanId() { return ++lastSpanId_; }
+
+    // --- recording ---------------------------------------------------
+
+    /** Record one completed span (overwrites the oldest when full). */
+    void record(const Span &s);
+
+    /** Drop all retained spans (ids and counters keep advancing). */
+    void clear();
+
+    // --- access ------------------------------------------------------
+
+    /** Ring capacity (spans). Resizing clears retained spans. */
+    std::size_t capacity() const { return capacity_; }
+    void setCapacity(std::size_t capacity);
+
+    /** Retained span count (<= capacity). */
+    std::size_t size() const { return ring_.size(); }
+
+    /** Total spans ever recorded. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Spans overwritten by ring wraparound since the last clear(). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Retained spans, oldest first (copies out of the ring). */
+    std::vector<Span> snapshot() const;
+
+  private:
+    std::size_t capacity_;
+    double rate_ = 0.0;
+    /// Sampling threshold in 64-bit hash space; 0 when disabled.
+    std::uint64_t threshold_ = 0;
+    bool sampleAll_ = false;
+    SpanId lastSpanId_ = kNoSpan;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    /// Ring storage: next_ is the overwrite position once full.
+    std::vector<Span> ring_;
+    std::size_t next_ = 0;
+};
+
+} // namespace ursa::trace
+
+#endif // URSA_TRACE_TRACER_H

@@ -2,6 +2,8 @@
 
 #include "core/estimator.h"
 
+#include "check/check.h"
+
 #include <gtest/gtest.h>
 
 namespace
@@ -45,15 +47,33 @@ TEST(Estimator, ConvergesToStableRatio)
     EXPECT_NEAR(est.ratio(0), 0.75, 1e-6);
 }
 
-TEST(Estimator, IgnoresDegenerateInputs)
+// Degenerate inputs are an invariant violation (core.estimator), not a
+// silent drop: a caller that observes before bounds are seeded would
+// otherwise freeze the ratio at a stale value without a trace.
+TEST(Estimator, FlagsDegenerateInputs)
 {
     LatencyEstimator est(1);
-    est.setUpperBounds({0.0});
-    est.observe(0, 500.0); // no bound yet: ignored
-    EXPECT_DOUBLE_EQ(est.ratio(0), 1.0);
+    {
+        ursa::check::ScopedCapture cap;
+        est.setUpperBounds({0.0});
+        est.observe(0, 500.0); // no bound yet
+        EXPECT_TRUE(cap.sawComponent("core.estimator"));
+    }
+    EXPECT_DOUBLE_EQ(est.ratio(0), 1.0); // still degrades gracefully
     est.setUpperBounds({1000.0});
-    est.observe(0, 0.0); // zero measurement: ignored
+    {
+        ursa::check::ScopedCapture cap;
+        est.observe(0, 0.0); // zero measurement
+        EXPECT_TRUE(cap.sawComponent("core.estimator"));
+    }
     EXPECT_DOUBLE_EQ(est.ratio(0), 1.0);
+    // Healthy observations raise no violations.
+    {
+        ursa::check::ScopedCapture cap;
+        est.observe(0, 500.0);
+        EXPECT_TRUE(cap.empty());
+    }
+    EXPECT_DOUBLE_EQ(est.ratio(0), 0.5);
 }
 
 TEST(Estimator, RatioSurvivesBoundUpdate)

@@ -53,6 +53,37 @@ TEST_F(MetricsTest, ArrivalRateCountsWindows)
     EXPECT_DOUBLE_EQ(m.arrivalRate(0, 0, 0, 0), 0.0);
 }
 
+// Regression: edge windows used to be counted in full while the span
+// divided by the clipped range. A steady 2/sec stream queried over the
+// second half of its only window reported 4/sec.
+TEST_F(MetricsTest, ArrivalRateClipsEdgeWindowsProRata)
+{
+    for (int i = 0; i < 120; ++i)
+        m.recordArrival(0, 0, i * kSec / 2); // 2/sec for 1 min
+    EXPECT_NEAR(m.arrivalRate(0, 0, 30 * kSec, kMin), 2.0, 0.1);
+    EXPECT_NEAR(m.arrivalRate(0, 0, 15 * kSec, 45 * kSec), 2.0, 0.1);
+    // A range past the data sees a pro-rata share of the edge window
+    // and zero from the empty remainder.
+    EXPECT_NEAR(m.arrivalRate(0, 0, 30 * kSec, 90 * kSec), 1.0, 0.1);
+}
+
+// Regression companion: window-violation rates weight edge windows by
+// their overlap fraction, so a range cutting a violating window in half
+// does not count a whole bad window against a half-sized denominator.
+TEST_F(MetricsTest, WindowViolationRateWeightsEdgeWindows)
+{
+    // Window 0 fine, window 1 violating (p99 SLA is 100 ms).
+    for (int i = 0; i < 50; ++i)
+        m.recordEndToEnd(0, i * kSec, fromMs(20.0));
+    for (int i = 0; i < 50; ++i)
+        m.recordEndToEnd(0, kMin + i * kSec, fromMs(150.0));
+    // Full first window + half of the violating one: 0.5 bad weight
+    // out of 1.5 total.
+    EXPECT_NEAR(m.slaViolationRate(0, 0, 90 * kSec), 0.5 / 1.5, 1e-9);
+    // Aligned ranges are unchanged.
+    EXPECT_NEAR(m.slaViolationRate(0, 0, 2 * kMin), 0.5, 1e-9);
+}
+
 TEST_F(MetricsTest, WindowViolationRateUsesSlaPercentile)
 {
     // Class "slow" has a p50 SLA of 1000 ms: a window where only the

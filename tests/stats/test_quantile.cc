@@ -117,6 +117,63 @@ TEST(SampleSet, MergeCombines)
     EXPECT_DOUBLE_EQ(a.percentile(50), 2.0);
 }
 
+// Regression: merge used to re-add the other set's *retained* samples
+// through add(), dropping its unretained threshold exceedances. With a
+// capacity-4 reservoir on `b`, only ~4 of its 100 exceedances survived.
+TEST(SampleSet, MergePreservesThresholdCounts)
+{
+    SampleSet a, b(4, 11);
+    a.trackThreshold(10.0);
+    b.trackThreshold(10.0);
+    for (int i = 0; i < 100; ++i)
+        b.add(20.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.fractionAbove(10.0), 1.0);
+}
+
+// Regression: merging through add() weighted the other stream by the
+// *local* observed count, so a second stream of equal size was nearly
+// squeezed out of the merged reservoir. With the weighted union the
+// merged reservoir represents both streams ~equally.
+TEST(SampleSet, MergeReservoirsWeightedByObserved)
+{
+    SampleSet a(64, 3), b(64, 5);
+    Rng r(17);
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        a.add(r.uniform() * 0.01); // stream near 0
+    for (int i = 0; i < n; ++i)
+        b.add(1.0 - r.uniform() * 0.01); // stream near 1
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u * n);
+    EXPECT_EQ(a.samples().size(), 64u);
+    // Old code: mean ~0.006 (stream b nearly absent). Fixed: ~0.5.
+    EXPECT_NEAR(a.mean(), 0.5, 0.15);
+}
+
+TEST(SampleSet, MergeExactModeConcatenates)
+{
+    SampleSet a, b;
+    for (double v : {1.0, 2.0})
+        a.add(v);
+    for (double v : {3.0, 4.0})
+        b.add(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.samples().size(), 4u);
+    EXPECT_DOUBLE_EQ(a.percentile(100), 4.0);
+}
+
+TEST(SampleSet, MergeEmptyOtherIsNoOp)
+{
+    SampleSet a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.samples().size(), 1u);
+}
+
 TEST(SampleSet, ResetClears)
 {
     SampleSet s;
