@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Portable Clang Thread Safety Analysis macros.
+ *
+ * Under clang the `URSA_*` macros expand to the `thread_safety`
+ * attribute family, so `-Wthread-safety` proves at compile time that
+ * every access to a `URSA_GUARDED_BY(mu)` member happens with `mu`
+ * held, that `URSA_REQUIRES(mu)` functions are only called under the
+ * lock, and that `URSA_EXCLUDES(mu)` functions are never re-entered
+ * with it held. Under GCC (and any compiler without the attribute)
+ * every macro expands to nothing, so annotations are free and the
+ * build is identical.
+ *
+ * libstdc++'s `std::mutex` carries none of these attributes, so the
+ * analysis cannot see its lock()/unlock() calls; annotated code must
+ * use the `ursa::base::Mutex` / `MutexLock` / `CondVar` wrappers from
+ * "base/mutex.h" instead. The CI `clang-threadsafety` leg builds the
+ * tree with `-Wthread-safety -Werror=thread-safety`; `tools/ursa-lint`
+ * additionally enforces (rule `missing-annotation`) that every mutex
+ * member in the concurrent layers is referenced by at least one
+ * annotation and that every atomic member carries a sharing-rationale
+ * comment.
+ *
+ * `URSA_SINGLE_THREADED` expands to nothing on every compiler: it is a
+ * documentation marker for classes whose contract is "owned by one
+ * thread" (e.g. `sim::PoolArena`, `trace::Tracer` — one per Cluster,
+ * touched only by the thread driving that cluster's event loop).
+ * Marked classes need no locks, and giving them any would be a design
+ * smell; the marker makes the contract grep-able at the class head.
+ */
+
+#ifndef URSA_BASE_THREAD_ANNOTATIONS_H
+#define URSA_BASE_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && !defined(URSA_NO_THREAD_SAFETY_ATTRIBUTES)
+#define URSA_THREAD_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define URSA_THREAD_ATTRIBUTE_(x) // no-op outside clang
+#endif
+
+/** Declares a type to be a capability (e.g. a mutex wrapper). */
+#define URSA_CAPABILITY(x) URSA_THREAD_ATTRIBUTE_(capability(x))
+
+/** Declares an RAII type that acquires in its ctor, releases in dtor. */
+#define URSA_SCOPED_CAPABILITY URSA_THREAD_ATTRIBUTE_(scoped_lockable)
+
+/** Member data that may only be touched while `x` is held. */
+#define URSA_GUARDED_BY(x) URSA_THREAD_ATTRIBUTE_(guarded_by(x))
+
+/** Pointer member whose *pointee* may only be touched while `x` is held. */
+#define URSA_PT_GUARDED_BY(x) URSA_THREAD_ATTRIBUTE_(pt_guarded_by(x))
+
+/** Function that must be called with the capabilities held. */
+#define URSA_REQUIRES(...) \
+    URSA_THREAD_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the capabilities NOT held. */
+#define URSA_EXCLUDES(...) \
+    URSA_THREAD_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the capabilities and holds them on return. */
+#define URSA_ACQUIRE(...) \
+    URSA_THREAD_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capabilities. */
+#define URSA_RELEASE(...) \
+    URSA_THREAD_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns `ret`. */
+#define URSA_TRY_ACQUIRE(ret, ...) \
+    URSA_THREAD_ATTRIBUTE_(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Assert (at runtime) that the capability is held; teaches the analysis. */
+#define URSA_ASSERT_CAPABILITY(x) \
+    URSA_THREAD_ATTRIBUTE_(assert_capability(x))
+
+/** Function returning a reference to the named capability. */
+#define URSA_RETURN_CAPABILITY(x) \
+    URSA_THREAD_ATTRIBUTE_(lock_returned(x))
+
+/**
+ * Opt a function body out of the analysis. Reserved for trusted
+ * primitives whose correctness the analysis cannot express (e.g. a
+ * condition-variable wait that unlocks and relocks internally); the
+ * declaration keeps its REQUIRES/ACQUIRE contract so *callers* are
+ * still checked.
+ */
+#define URSA_NO_THREAD_SAFETY_ANALYSIS \
+    URSA_THREAD_ATTRIBUTE_(no_thread_safety_analysis)
+
+/**
+ * Documentation-only marker (expands to nothing everywhere): the class
+ * is confined to a single owning thread and is intentionally lock-free.
+ */
+#define URSA_SINGLE_THREADED
+
+#endif // URSA_BASE_THREAD_ANNOTATIONS_H

@@ -20,6 +20,7 @@
 #define URSA_BASELINES_SINAN_H
 
 #include "apps/app.h"
+#include "base/thread_annotations.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
 #include "sim/cluster.h"
@@ -100,8 +101,14 @@ class SinanModel
 /**
  * Data collection: drives randomized allocations on a live, loaded
  * cluster, balancing violation labels, one sample per interval.
+ *
+ * URSA_SINGLE_THREADED: the parallel training-data path (bench
+ * runSinanCollection) gives each ursa::exec shard its own
+ * (Cluster, SinanCollector) pair seeded from the shard index, so the
+ * collector shares no state across threads and carries no locks; the
+ * merged sample set is a deterministic index-ordered concatenation.
  */
-class SinanCollector
+class URSA_SINGLE_THREADED SinanCollector
 {
   public:
     SinanCollector(sim::Cluster &cluster, const apps::AppSpec &app,

@@ -11,8 +11,14 @@ namespace ursa::check
 namespace
 {
 
+/// atomic: bumped by fail() from every simulation shard concurrently;
+/// a relaxed counter is the whole contract (violationCount() is a
+/// monotonic process-wide tally, never a synchronization point).
 std::atomic<std::uint64_t> g_violations{0};
 
+// Capture stack and sim-time note are thread-local by design: each
+// parallelFor shard drives its own cluster, so violations trap to the
+// capture installed on the shard that raised them without any locking.
 thread_local ScopedCapture *tl_capture = nullptr;
 thread_local std::int64_t tl_simTime = -1;
 

@@ -168,7 +168,11 @@ ExplorationController::exploreApp(const apps::AppSpec &app) const
     // Per-service explorations are embarrassingly parallel (Sec. VII-C:
     // wall-clock time is the max, not the sum). Each index builds its
     // own harness clusters with index-derived seeds, so the profile is
-    // bit-identical to the serial run for any URSA_THREADS.
+    // bit-identical to the serial run for any URSA_THREADS. Shared
+    // captures (`app`, `profile.grid`, `this`) are read-only inside
+    // the lambda and each shard writes only its own result slot — the
+    // lock-free shape the thread-safety analysis layer expects of
+    // parallelMap bodies (see base/thread_annotations.h).
     AppProfile profile;
     profile.services = exec::parallelMap<ServiceProfile>(
         app.services.size(), [&](std::size_t s) {

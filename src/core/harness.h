@@ -23,7 +23,15 @@
 namespace ursa::core
 {
 
-/** An instantiated Fig.-3 harness. */
+/**
+ * An instantiated Fig.-3 harness.
+ *
+ * Ownership contract for the parallel exploration path: every harness
+ * (cluster, client and all) is built, driven and destroyed by exactly
+ * one ursa::exec shard — nothing here is shared across threads, which
+ * is why the struct is lock-free and the thread-safety analysis layer
+ * has nothing to annotate on it.
+ */
 struct IsolatedHarness
 {
     std::unique_ptr<sim::Cluster> cluster;

@@ -11,6 +11,10 @@ namespace ursa::exec
 namespace
 {
 
+/// Effective parallelism; 0 = "not yet resolved from the environment".
+/// atomic: read by every parallelFor caller, written by setThreadCount
+/// from tests while workers may be mid-loop; relaxed is enough because
+/// any racing readers see either the old or the new count, both valid.
 std::atomic<int> g_threads{0};
 
 int
@@ -53,19 +57,29 @@ ThreadPool::global()
 
 ThreadPool::~ThreadPool()
 {
+    // Move the worker handles out under the lock: joining must happen
+    // unlocked (workers take mu_ to drain), but reading threads_
+    // unlocked raced with a concurrent ensureWorkers — a gap the
+    // thread-safety analysis flagged once threads_ became
+    // URSA_GUARDED_BY(mu_) (regression: ThreadPoolTest.
+    // EnsureWorkersDuringShutdownDoesNotRace).
+    std::vector<std::thread> workers;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        base::MutexLock lock(mu_);
         stop_ = true;
+        workers.swap(threads_);
     }
     cv_.notify_all();
-    for (std::thread &t : threads_)
+    for (std::thread &t : workers)
         t.join();
 }
 
 void
 ThreadPool::ensureWorkers(int n)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
+    if (stop_)
+        return; // shutting down: joined threads must not regrow
     while (static_cast<int>(threads_.size()) < n)
         threads_.emplace_back([this] { workerLoop(); });
 }
@@ -74,7 +88,7 @@ void
 ThreadPool::post(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        base::MutexLock lock(mu_);
         queue_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -83,7 +97,7 @@ ThreadPool::post(std::function<void()> task)
 int
 ThreadPool::workers() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     return static_cast<int>(threads_.size());
 }
 
@@ -93,8 +107,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            base::MutexLock lock(mu_);
+            while (!stop_ && queue_.empty())
+                cv_.wait(mu_);
             if (queue_.empty())
                 return; // stop_ set and queue drained
             task = std::move(queue_.front());
@@ -110,13 +125,17 @@ namespace
 /** Shared progress of one parallelFor call. */
 struct LoopState
 {
+    /// atomic: the work-claiming counter every participant bumps;
+    /// fetch_add is the claim itself, no lock can replace it.
     std::atomic<std::size_t> next{0};
+    /// atomic: completion count read by the caller's wait predicate
+    /// while workers increment it.
     std::atomic<std::size_t> done{0};
-    std::size_t n = 0;
-    const std::function<void(std::size_t)> *body = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    std::size_t n = 0; // immutable after publication via post()
+    const std::function<void(std::size_t)> *body = nullptr; // immutable
+    base::Mutex mu;
+    base::CondVar cv;
+    std::exception_ptr error URSA_GUARDED_BY(mu);
 
     /**
      * Claim and run indices until none are left. Safe to call from
@@ -124,7 +143,7 @@ struct LoopState
      * late claims see i >= n and never touch `body`.
      */
     void
-    drain()
+    drain() URSA_EXCLUDES(mu)
     {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
@@ -133,12 +152,12 @@ struct LoopState
             try {
                 (*body)(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mu);
+                base::MutexLock lock(mu);
                 if (!error)
                     error = std::current_exception();
             }
             if (done.fetch_add(1) + 1 == n) {
-                std::lock_guard<std::mutex> lock(mu); // pairs with wait
+                base::MutexLock lock(mu); // pairs with the caller's wait
                 cv.notify_all();
             }
         }
@@ -171,8 +190,9 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
 
     st->drain(); // the caller participates
 
-    std::unique_lock<std::mutex> lock(st->mu);
-    st->cv.wait(lock, [&] { return st->done.load() == n; });
+    base::MutexLock lock(st->mu);
+    while (st->done.load() != n)
+        st->cv.wait(st->mu);
     if (st->error)
         std::rethrow_exception(st->error);
 }

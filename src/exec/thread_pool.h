@@ -23,11 +23,12 @@
 #ifndef URSA_EXEC_THREAD_POOL_H
 #define URSA_EXEC_THREAD_POOL_H
 
-#include <condition_variable>
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -51,24 +52,24 @@ class ThreadPool
     /** The process-wide pool used by parallelFor/parallelMap. */
     static ThreadPool &global();
 
-    ~ThreadPool();
+    ~ThreadPool() URSA_EXCLUDES(mu_);
 
     /** Ensure at least `n` worker threads exist. */
-    void ensureWorkers(int n);
+    void ensureWorkers(int n) URSA_EXCLUDES(mu_);
 
     /** Enqueue a task for any worker. */
-    void post(std::function<void()> task);
+    void post(std::function<void()> task) URSA_EXCLUDES(mu_);
 
-    int workers() const;
+    int workers() const URSA_EXCLUDES(mu_);
 
   private:
-    void workerLoop();
+    void workerLoop() URSA_EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> threads_;
-    bool stop_ = false;
+    mutable base::Mutex mu_;
+    base::CondVar cv_;
+    std::deque<std::function<void()>> queue_ URSA_GUARDED_BY(mu_);
+    std::vector<std::thread> threads_ URSA_GUARDED_BY(mu_);
+    bool stop_ URSA_GUARDED_BY(mu_) = false;
 };
 
 /**

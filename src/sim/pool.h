@@ -14,6 +14,7 @@
 #ifndef URSA_SIM_POOL_H
 #define URSA_SIM_POOL_H
 
+#include "base/thread_annotations.h"
 #include "check/check.h"
 
 #include <cstddef>
@@ -35,7 +36,7 @@ namespace ursa::sim
  * same address out twice); the generation bumps on every allocate and
  * release, so stale-pointer reuse across a recycle is detectable.
  */
-class PoolArena
+class URSA_SINGLE_THREADED PoolArena
 {
   public:
     PoolArena() = default;

@@ -7,8 +7,7 @@
  * traced requests for a (topology, workload, seed) triple is
  * bit-identical across URSA_THREADS settings, platforms and reruns —
  * the same determinism contract the rest of the kernel obeys
- * (scripts/lint_determinism.py treats src/trace/ as a deterministic
- * layer). Disabled tracing (sampling 0, the default) costs one
+ * (tools/ursa-lint treats src/trace/ as a deterministic layer). Disabled tracing (sampling 0, the default) costs one
  * predictable branch per request lifecycle site; no span storage is
  * touched.
  *
@@ -20,6 +19,7 @@
 #ifndef URSA_TRACE_TRACER_H
 #define URSA_TRACE_TRACER_H
 
+#include "base/thread_annotations.h"
 #include "trace/span.h"
 
 #include <cstddef>
@@ -29,8 +29,15 @@
 namespace ursa::trace
 {
 
-/** Ring-buffered span recorder with deterministic request sampling. */
-class Tracer
+/**
+ * Ring-buffered span recorder with deterministic request sampling.
+ *
+ * URSA_SINGLE_THREADED: one Tracer per Cluster, touched only by the
+ * thread driving that cluster's event loop — parallel grid cells each
+ * own a private (Cluster, Tracer) pair, so the recorder needs (and
+ * must have) no locks on the record() hot path.
+ */
+class URSA_SINGLE_THREADED Tracer
 {
   public:
     /** Default ring capacity (spans). */

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace
@@ -123,6 +125,32 @@ TEST_F(ThreadPoolTest, ResultsIndependentOfThreadCount)
     setThreadCount(8);
     const auto parallel = parallelMap<unsigned long long>(500, compute);
     EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadPoolTest, EnsureWorkersDuringShutdownDoesNotRace)
+{
+    // Regression for a gap the thread-safety annotations surfaced: the
+    // destructor used to iterate threads_ without the lock while a
+    // pool task could still be inside ensureWorkers() growing it —
+    // a data race on the vector, plus freshly spawned workers that
+    // were never joined (std::terminate at handle destruction). The
+    // fixed destructor moves the handles out under the lock and
+    // ensureWorkers refuses to grow a stopping pool; under the TSan CI
+    // leg the old code fails this test.
+    for (int rep = 0; rep < 25; ++rep) {
+        auto pool = std::make_unique<ursa::exec::ThreadPool>();
+        ursa::exec::ThreadPool *p = pool.get();
+        std::atomic<bool> started{false};
+        p->post([p, &started] {
+            started = true;
+            for (int n = 2; n <= 8; ++n)
+                p->ensureWorkers(n); // races with ~ThreadPool below
+        });
+        p->ensureWorkers(1);
+        while (!started.load())
+            std::this_thread::yield();
+        pool.reset(); // join while the task may still be growing
+    }
 }
 
 } // namespace

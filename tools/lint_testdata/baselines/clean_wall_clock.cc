@@ -1,0 +1,6 @@
+// Clean: baselines legitimately measure wall time — controller
+// inference cost is itself an evaluated quantity (paper Table 6) —
+// so the wall-clock rule does not apply to this layer.
+#include <chrono>
+
+auto inferenceStart = std::chrono::steady_clock::now();

@@ -1,0 +1,8 @@
+// Clean: the check layer may assert about itself.
+#include <cassert>
+
+void
+f()
+{
+    assert(true);
+}

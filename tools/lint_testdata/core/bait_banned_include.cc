@@ -1,0 +1,2 @@
+// Bait: the everything-header is banned everywhere.
+#include <bits/stdc++.h> // ursa-lint-test: expect(banned-include)

@@ -1,0 +1,12 @@
+// Bait: raw threads outside src/exec — parallelism must route through
+// ursa::exec so joining, shutdown and URSA_THREADS stay centralized.
+#include <thread>
+
+void
+spawn()
+{
+    std::thread worker([] {}); // ursa-lint-test: expect(raw-thread)
+    worker.detach();           // ursa-lint-test: expect(raw-thread)
+}
+
+std::jthread background([] {}); // ursa-lint-test: expect(raw-thread)

@@ -1,0 +1,12 @@
+// Bait: iterating a hash container in a file that schedules events —
+// iteration order feeds the event queue (ports core/bad_iter.cc).
+#include <unordered_map>
+
+std::unordered_map<int, double> rates;
+
+void
+go()
+{
+    for (auto &kv : rates) // ursa-lint-test: expect(unordered-sched)
+        queue.scheduleIn(10, [] {});
+}

@@ -1,0 +1,8 @@
+// Bait: C wall-clock reads in a deterministic layer (ports the Python
+// lint's core/bad_time.cc snippet), every accepted argument form.
+#include <ctime>
+
+long a = time(nullptr); // ursa-lint-test: expect(wall-clock)
+long b = time(NULL);    // ursa-lint-test: expect(wall-clock)
+long c = time(0);       // ursa-lint-test: expect(wall-clock)
+long d = time();        // ursa-lint-test: expect(wall-clock)

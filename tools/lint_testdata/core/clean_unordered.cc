@@ -1,0 +1,15 @@
+// Clean: an unordered container may exist in a scheduling file as
+// long as nothing range-iterates it; the ordered map iteration that
+// feeds the scheduler is fine.
+#include <map>
+#include <unordered_map>
+
+std::unordered_map<int, double> cache;
+std::map<int, double> rates;
+
+void
+go()
+{
+    for (auto &kv : rates)
+        queue.scheduleIn(10, kv.second);
+}

@@ -1,0 +1,13 @@
+// Suppression round-trip: the allow() comment must silence the rule,
+// on the offending line and on the line directly above.
+#include <chrono>
+#include <ctime>
+
+// control-plane overhead measurement (paper Table 6)
+auto t0 = std::chrono::steady_clock::now(); // ursa-lint: allow(wall-clock) ursa-lint-test: suppressed(wall-clock)
+
+// ursa-lint: allow(wall-clock) overhead probe, annotated above
+long t1 = time(nullptr); // ursa-lint-test: suppressed(wall-clock)
+
+// Multi-rule allow lists parse item by item.
+std::mt19937 gen(7); // ursa-lint: allow(raw-rand, wall-clock) ursa-lint-test: suppressed(raw-rand)

@@ -1,0 +1,39 @@
+// Bait: invoking a callback while holding a lock — a re-entrant
+// callback deadlocks, a slow one convoys every waiter.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+#include <functional>
+
+struct Notifier
+{
+    ursa::base::Mutex mu_;
+    std::function<void()> onDone_ URSA_GUARDED_BY(mu_);
+    const std::function<void(int)> *body_ URSA_GUARDED_BY(mu_) = nullptr;
+
+    void
+    fire()
+    {
+        ursa::base::MutexLock lock(mu_);
+        onDone_(); // ursa-lint-test: expect(callback-under-lock)
+    }
+
+    void
+    fireThroughPointer()
+    {
+        ursa::base::MutexLock lock(mu_);
+        (*body_)(1); // ursa-lint-test: expect(callback-under-lock)
+    }
+};
+
+struct StdGuarded
+{
+    std::function<void()> cb_;
+
+    void
+    fire(std::mutex &raw) // ursa-lint-test: expect(missing-annotation)
+    {
+        std::lock_guard<std::mutex> lock(raw); // ursa-lint-test: expect(missing-annotation)
+        cb_(); // ursa-lint-test: expect(callback-under-lock)
+    }
+};

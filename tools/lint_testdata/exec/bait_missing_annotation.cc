@@ -1,0 +1,14 @@
+// Bait: concurrent state without a thread-safety contract in an
+// annotated layer.
+#include "base/mutex.h"
+
+#include <atomic>
+#include <mutex>
+
+struct Racy
+{
+    std::mutex rawMu_;            // ursa-lint-test: expect(missing-annotation)
+    std::condition_variable cv_;  // ursa-lint-test: expect(missing-annotation)
+    ursa::base::Mutex unrefMu_;   // ursa-lint-test: expect(missing-annotation)
+    std::atomic<int> counter_{0}; // ursa-lint-test: expect(missing-annotation)
+};

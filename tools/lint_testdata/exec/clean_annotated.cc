@@ -1,0 +1,14 @@
+// Clean: the fully-annotated shape — wrapper Mutex referenced by an
+// annotation, atomic with a sharing-rationale comment.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+#include <atomic>
+
+struct Safe
+{
+    ursa::base::Mutex mu_;
+    int value_ URSA_GUARDED_BY(mu_) = 0;
+    /// atomic: relaxed tally bumped by every shard, read after join.
+    std::atomic<int> hits_{0};
+};

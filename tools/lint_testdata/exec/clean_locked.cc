@@ -1,0 +1,24 @@
+// Clean: the worker-loop shape — dequeue under the lock, invoke after
+// the guard's scope closes — must not fire callback-under-lock.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+#include <functional>
+#include <utility>
+
+struct Worker
+{
+    ursa::base::Mutex mu_;
+    std::function<void()> queued_ URSA_GUARDED_BY(mu_);
+
+    void
+    runOne()
+    {
+        std::function<void()> task;
+        {
+            ursa::base::MutexLock lock(mu_);
+            task = std::move(queued_); // a move is not an invocation
+        }
+        task(); // invoked outside the critical section
+    }
+};

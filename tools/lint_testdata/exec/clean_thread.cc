@@ -1,0 +1,13 @@
+// Clean: src/exec is the one layer allowed to own raw threads (and it
+// joins them — no detach).
+#include <thread>
+#include <vector>
+
+std::vector<std::thread> workers;
+
+void
+joinAll()
+{
+    for (std::thread &t : workers)
+        t.join();
+}

@@ -1,0 +1,8 @@
+// Bait: bare assert outside src/check (ports ml/bad_assert.cc).
+#include <cassert>
+
+void
+f(int n)
+{
+    assert(n > 0); // ursa-lint-test: expect(bare-assert)
+}

@@ -1,0 +1,8 @@
+// Bait: <iostream> in a header injects its static initializer into
+// every includer; use <ostream> or <iosfwd>.
+#ifndef BAIT_BANNED_IOSTREAM_H
+#define BAIT_BANNED_IOSTREAM_H
+
+#include <iostream> // ursa-lint-test: expect(banned-include)
+
+#endif

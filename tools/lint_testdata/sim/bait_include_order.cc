@@ -1,0 +1,3 @@
+// Bait: a .cc must include its own header first (self-containment).
+#include <vector>
+#include "sim/bait_include_order.h" // ursa-lint-test: expect(include-order)

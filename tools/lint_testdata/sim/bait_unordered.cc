@@ -1,0 +1,6 @@
+// Bait: hash containers in the sim kernel (ports sim/bad_unordered.cc).
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> table;       // ursa-lint-test: expect(unordered-sim)
+std::unordered_set<long> seen;            // ursa-lint-test: expect(unordered-sim)

@@ -1,0 +1,6 @@
+// Bait: wall clocks in the deterministic sim layer (ports the Python
+// lint's sim/bad_clock.cc snippet). Fixtures are linted, never built.
+#include <chrono>
+
+auto t0 = std::chrono::steady_clock::now(); // ursa-lint-test: expect(wall-clock)
+auto t1 = std::chrono::high_resolution_clock::now(); // ursa-lint-test: expect(wall-clock)

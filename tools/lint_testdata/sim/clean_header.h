@@ -1,0 +1,10 @@
+// Clean: <ostream> (not <iostream>) is the right way for a header to
+// name stream types.
+#ifndef CLEAN_HEADER_H
+#define CLEAN_HEADER_H
+
+#include <ostream>
+
+void print(std::ostream &os);
+
+#endif

@@ -1,0 +1,4 @@
+// Clean: own header first, then everything else.
+#include "sim/clean_include_order.h"
+
+#include <vector>

@@ -1,0 +1,15 @@
+// Clean: lookalike identifiers, prose in comments, and literals must
+// not fire. The raw-string case is exactly the false-positive class
+// that killed the regex lint: a real tokenizer skips literal bodies.
+#include <map>
+
+double exploreTime(int strand);
+// steady_clock mentioned in a comment is fine
+static_assert(sizeof(int) == 4, "abi");
+
+const char *kDoc =
+    R"doc(call rand() or steady_clock::now() at will — this is prose)doc";
+const char *kPlain = "assert(rand()) inside a plain string is also fine";
+const char kTick = '\'';
+
+std::map<int, double> ordered; // ordered containers are always fine

@@ -1,0 +1,7 @@
+// Clean: stats/rng.* is the one place allowed to touch raw generators
+// (ports the Python lint's rng exemption snippet).
+#include <cstdlib>
+#include <random>
+
+std::uint64_t v = rand();
+std::mt19937_64 seeder(0x5eed);

@@ -1,0 +1,6 @@
+// Bait: hash containers in src/trace — snapshot/export order is part
+// of the determinism contract (ports trace/bad_span_index.cc).
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, int> openSpans; // ursa-lint-test: expect(unordered-sim)

@@ -1,0 +1,6 @@
+// Bait: src/trace is a deterministic layer — span exports must be
+// byte-identical across runs, so wall clocks are banned here too
+// (ports trace/bad_export_clock.cc).
+#include <chrono>
+
+auto exportStamp = std::chrono::system_clock::now(); // ursa-lint-test: expect(wall-clock)

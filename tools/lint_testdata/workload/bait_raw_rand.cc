@@ -1,0 +1,13 @@
+// Bait: unseeded/library randomness outside ursa::stats::Rng (ports
+// workload/bad_rand.cc and core/bad_device.cc, plus the extended
+// engine/distribution identifier set).
+#include <cstdlib>
+#include <random>
+
+int f() { return rand(); }                        // ursa-lint-test: expect(raw-rand)
+void g() { srand(7); }                            // ursa-lint-test: expect(raw-rand)
+std::random_device rd;                            // ursa-lint-test: expect(raw-rand)
+std::mt19937 gen(123);                            // ursa-lint-test: expect(raw-rand)
+std::default_random_engine eng;                   // ursa-lint-test: expect(raw-rand)
+std::uniform_int_distribution<int> dist(0, 9);    // ursa-lint-test: expect(raw-rand)
+std::normal_distribution<double> gauss(0.0, 1.0); // ursa-lint-test: expect(raw-rand)

@@ -1,0 +1,275 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ursa::lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    LexedFile
+    run()
+    {
+        while (i_ < src_.size())
+            step();
+        out_.lineCount = line_;
+        comment(line_); // ensure the comments vector spans every line
+        return std::move(out_);
+    }
+
+  private:
+    void
+    step()
+    {
+        const char c = src_[i_];
+        const char n = i_ + 1 < src_.size() ? src_[i_ + 1] : '\0';
+
+        if (c == '\n') {
+            ++line_;
+            atLineStart_ = true;
+            ++i_;
+            return;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+            ++i_;
+            return;
+        }
+        if (c == '/' && n == '/') {
+            lineComment();
+            return;
+        }
+        if (c == '/' && n == '*') {
+            blockComment();
+            return;
+        }
+        if (c == '#' && atLineStart_) {
+            hashDirective();
+            return;
+        }
+        atLineStart_ = false;
+        if (identStart(c)) {
+            identifierOrLiteral();
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(n)))) {
+            number();
+            return;
+        }
+        if (c == '"') {
+            stringLiteral();
+            return;
+        }
+        if (c == '\'') {
+            charLiteral();
+            return;
+        }
+        out_.tokens.push_back({TokenKind::Punct, std::string(1, c), line_});
+        ++i_;
+    }
+
+    void
+    lineComment()
+    {
+        const std::size_t start = i_;
+        while (i_ < src_.size() && src_[i_] != '\n')
+            ++i_;
+        comment(line_) += src_.substr(start, i_ - start);
+    }
+
+    void
+    blockComment()
+    {
+        const int startLine = line_;
+        const std::size_t start = i_;
+        i_ += 2;
+        while (i_ < src_.size() &&
+               !(src_[i_] == '*' && i_ + 1 < src_.size() &&
+                 src_[i_ + 1] == '/')) {
+            if (src_[i_] == '\n')
+                ++line_;
+            ++i_;
+        }
+        if (i_ < src_.size())
+            i_ += 2; // past */
+        comment(startLine) += src_.substr(start, i_ - start);
+    }
+
+    /**
+     * A `#` that opens a line. `#include` directives are parsed into
+     * IncludeDirective records and emit no tokens (their `<path>` form
+     * would otherwise shred into misleading punctuation); every other
+     * directive falls through to ordinary tokenization.
+     */
+    void
+    hashDirective()
+    {
+        std::size_t j = i_ + 1;
+        while (j < src_.size() && (src_[j] == ' ' || src_[j] == '\t'))
+            ++j;
+        if (src_.compare(j, 7, "include") != 0) {
+            atLineStart_ = false;
+            out_.tokens.push_back({TokenKind::Punct, "#", line_});
+            ++i_;
+            return;
+        }
+        j += 7;
+        while (j < src_.size() && (src_[j] == ' ' || src_[j] == '\t'))
+            ++j;
+        if (j < src_.size() && (src_[j] == '<' || src_[j] == '"')) {
+            const char close = src_[j] == '<' ? '>' : '"';
+            const bool angled = src_[j] == '<';
+            const std::size_t nameStart = ++j;
+            while (j < src_.size() && src_[j] != close && src_[j] != '\n')
+                ++j;
+            out_.includes.push_back(
+                {src_.substr(nameStart, j - nameStart), angled, line_});
+            if (j < src_.size() && src_[j] == close)
+                ++j;
+        }
+        atLineStart_ = false;
+        i_ = j;
+    }
+
+    void
+    identifierOrLiteral()
+    {
+        const std::size_t start = i_;
+        while (i_ < src_.size() && identChar(src_[i_]))
+            ++i_;
+        const std::string word = src_.substr(start, i_ - start);
+        // String/char literal encoding prefixes, incl. raw strings.
+        if (i_ < src_.size() &&
+            (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+             word == "LR") &&
+            src_[i_] == '"') {
+            rawString();
+            return;
+        }
+        if (i_ < src_.size() && src_[i_] == '"' &&
+            (word == "u8" || word == "u" || word == "U" || word == "L")) {
+            stringLiteral();
+            return;
+        }
+        if (i_ < src_.size() && src_[i_] == '\'' &&
+            (word == "u8" || word == "u" || word == "U" || word == "L")) {
+            charLiteral();
+            return;
+        }
+        out_.tokens.push_back({TokenKind::Identifier, word, line_});
+    }
+
+    void
+    number()
+    {
+        const std::size_t start = i_;
+        // pp-number: digits, identifier chars, digit separators, dots,
+        // and sign characters after an exponent (1e+5, 0x1p-3).
+        while (i_ < src_.size()) {
+            const char c = src_[i_];
+            if (identChar(c) || c == '.') {
+                ++i_;
+            } else if (c == '\'' && i_ + 1 < src_.size() &&
+                       identChar(src_[i_ + 1])) {
+                i_ += 2; // digit separator
+            } else if ((c == '+' || c == '-') && i_ > start &&
+                       (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+                        src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')) {
+                ++i_;
+            } else {
+                break;
+            }
+        }
+        out_.tokens.push_back(
+            {TokenKind::Number, src_.substr(start, i_ - start), line_});
+    }
+
+    void
+    stringLiteral()
+    {
+        out_.tokens.push_back({TokenKind::String, "", line_});
+        ++i_; // opening quote
+        while (i_ < src_.size() && src_[i_] != '"' && src_[i_] != '\n') {
+            if (src_[i_] == '\\' && i_ + 1 < src_.size())
+                ++i_;
+            ++i_;
+        }
+        if (i_ < src_.size() && src_[i_] == '"')
+            ++i_;
+    }
+
+    void
+    rawString()
+    {
+        out_.tokens.push_back({TokenKind::String, "", line_});
+        ++i_; // opening quote
+        std::string delim;
+        while (i_ < src_.size() && src_[i_] != '(' && src_[i_] != '\n')
+            delim += src_[i_++];
+        if (i_ < src_.size())
+            ++i_; // past (
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = src_.find(closer, i_);
+        const std::size_t stop =
+            end == std::string::npos ? src_.size() : end + closer.size();
+        for (; i_ < stop; ++i_)
+            if (src_[i_] == '\n')
+                ++line_;
+    }
+
+    void
+    charLiteral()
+    {
+        out_.tokens.push_back({TokenKind::Char, "", line_});
+        ++i_; // opening quote
+        while (i_ < src_.size() && src_[i_] != '\'' && src_[i_] != '\n') {
+            if (src_[i_] == '\\' && i_ + 1 < src_.size())
+                ++i_;
+            ++i_;
+        }
+        if (i_ < src_.size() && src_[i_] == '\'')
+            ++i_;
+    }
+
+    std::string &
+    comment(int line)
+    {
+        if (static_cast<int>(out_.comments.size()) <= line)
+            out_.comments.resize(line + 1);
+        return out_.comments[line];
+    }
+
+    const std::string &src_;
+    std::size_t i_ = 0;
+    int line_ = 1;
+    bool atLineStart_ = true;
+    LexedFile out_;
+};
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace ursa::lint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small C++ lexer for ursa-lint.
+ *
+ * The predecessor of this tool (scripts/lint_determinism.py) matched
+ * regexes against comment-scrubbed lines; its false-positive class —
+ * raw strings, multi-line literals, string contents that look like
+ * code — all stemmed from never actually tokenizing the input. This
+ * lexer does the real thing: it understands line and block comments,
+ * string/char literals with escapes, raw string literals
+ * (`R"delim(...)delim"`, including multi-line bodies), and
+ * preprocessor include directives, and emits a token stream rules can
+ * pattern-match structurally.
+ *
+ * Comments are not discarded: the per-line comment text is retained so
+ * rules can honor `// ursa-lint: allow(rule)` suppressions, rationale
+ * annotations (`atomic: ...`) and the self-test's expectation
+ * directives.
+ */
+
+#ifndef URSA_TOOLS_LINT_LEXER_H
+#define URSA_TOOLS_LINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace ursa::lint
+{
+
+enum class TokenKind
+{
+    Identifier, ///< identifiers and keywords
+    Number,     ///< numeric literals (incl. pp-numbers)
+    Punct,      ///< one punctuation character per token
+    String,     ///< any string literal (content dropped)
+    Char,       ///< any character literal (content dropped)
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text; ///< identifier/number spelling; punct character
+    int line;         ///< 1-based
+};
+
+/** One `#include` directive. */
+struct IncludeDirective
+{
+    std::string header; ///< path between the delimiters
+    bool angled;        ///< <...> vs "..."
+    int line;           ///< 1-based
+};
+
+/** Lexed view of one source file. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+    /// Comment text per line, 1-based (index 0 unused). A line's entry
+    /// concatenates every comment that *starts* on it (a block
+    /// comment's body belongs to its opening line).
+    std::vector<std::string> comments;
+    int lineCount = 0;
+};
+
+/** Tokenize `source`. Never fails: unterminated constructs lex as-is. */
+LexedFile lex(const std::string &source);
+
+} // namespace ursa::lint
+
+#endif // URSA_TOOLS_LINT_LEXER_H

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * ursa-lint — the project's native determinism / concurrency-hygiene
+ * analyzer (successor of scripts/lint_determinism.py; see DESIGN.md
+ * §9 for the rule catalogue and suppression policy).
+ *
+ * Modes:
+ *   ursa-lint --root <dir>                  lint a source tree
+ *   ursa-lint --self-test --testdata <dir>  run the bait/clean fixtures
+ *   ursa-lint --list-rules                  print the rule catalogue
+ *
+ * Output is machine-readable, one violation per line:
+ *
+ *   <file>:<line>:<rule>: <message>
+ *
+ * Suppression: append `// ursa-lint: allow(<rule>)` to the offending
+ * line (or the line directly above) with a reason.
+ *
+ * Self-test fixtures under tools/lint_testdata/ carry expectations in
+ * comments: `// ursa-lint-test: expect(<rule>)` marks a line that MUST
+ * flag, `// ursa-lint-test: suppressed(<rule>)` marks a line whose
+ * suppression comment MUST win. Any violation on an unmarked fixture
+ * line fails the self-test, so both false negatives and false
+ * positives are pinned.
+ *
+ * Exit status: 0 clean, 1 violations/self-test failure, 2 usage error.
+ */
+
+#include "rules.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using ursa::lint::Violation;
+
+namespace
+{
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/** Files under `root` in sorted relative-path order. */
+std::vector<std::string>
+collectFiles(const fs::path &root)
+{
+    std::vector<std::string> rel;
+    for (const auto &entry : fs::recursive_directory_iterator(root))
+        if (entry.is_regular_file() && lintableExtension(entry.path()))
+            rel.push_back(
+                entry.path().lexically_relative(root).generic_string());
+    std::sort(rel.begin(), rel.end());
+    return rel;
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+int
+lintTree(const std::string &rootArg)
+{
+    const fs::path root(rootArg);
+    if (!fs::is_directory(root)) {
+        std::fprintf(stderr, "error: %s is not a directory\n",
+                     rootArg.c_str());
+        return 2;
+    }
+    std::size_t count = 0;
+    for (const std::string &rel : collectFiles(root)) {
+        std::string source;
+        if (!readFile(root / rel, source)) {
+            std::fprintf(stderr, "error: cannot read %s\n", rel.c_str());
+            return 2;
+        }
+        for (const Violation &v : ursa::lint::lintFile(rel, source)) {
+            std::printf("%s/%s:%d:%s: %s\n", rootArg.c_str(),
+                        v.path.c_str(), v.line, v.rule.c_str(),
+                        v.message.c_str());
+            ++count;
+        }
+    }
+    if (count > 0) {
+        std::fprintf(stderr, "ursa-lint: %zu violation(s)\n", count);
+        return 1;
+    }
+    std::printf("ursa-lint: clean\n");
+    return 0;
+}
+
+// --- self-test -----------------------------------------------------------
+
+struct Expectation
+{
+    int line;
+    std::string rule;
+    bool mustFire; ///< expect(...) vs suppressed(...)
+};
+
+/** Parse `ursa-lint-test: expect(r)` / `suppressed(r)` directives. */
+std::vector<Expectation>
+parseDirectives(const std::string &rel,
+                const std::vector<std::string> &comments,
+                std::vector<std::string> &errors)
+{
+    std::vector<Expectation> out;
+    for (int line = 1; line < static_cast<int>(comments.size()); ++line) {
+        const std::string &c = comments[line];
+        std::size_t at = c.find("ursa-lint-test:");
+        if (at == std::string::npos)
+            continue;
+        at += 15;
+        while (at < c.size()) {
+            const std::size_t open = c.find('(', at);
+            if (open == std::string::npos)
+                break;
+            std::size_t kw = c.find_last_not_of(" \t", open - 1);
+            std::size_t kwStart = c.find_last_of(" \t,)", kw);
+            kwStart = kwStart == std::string::npos ? at : kwStart + 1;
+            const std::string keyword = c.substr(kwStart, kw - kwStart + 1);
+            const std::size_t close = c.find(')', open);
+            if (close == std::string::npos)
+                break;
+            const std::string rule = c.substr(open + 1, close - open - 1);
+            if (keyword == "expect" || keyword == "suppressed") {
+                if (!ursa::lint::knownRule(rule))
+                    errors.push_back(rel + ":" + std::to_string(line) +
+                                     ": directive names unknown rule '" +
+                                     rule + "'");
+                else
+                    out.push_back({line, rule, keyword == "expect"});
+            }
+            at = close + 1;
+        }
+    }
+    return out;
+}
+
+int
+selfTest(const std::string &testdataArg)
+{
+    const fs::path root(testdataArg);
+    if (!fs::is_directory(root)) {
+        std::fprintf(stderr, "error: testdata dir %s not found\n",
+                     testdataArg.c_str());
+        return 2;
+    }
+    std::vector<std::string> failures;
+    std::size_t fired = 0, suppressedQuiet = 0, files = 0;
+    for (const std::string &rel : collectFiles(root)) {
+        std::string source;
+        if (!readFile(root / rel, source)) {
+            std::fprintf(stderr, "error: cannot read %s\n", rel.c_str());
+            return 2;
+        }
+        ++files;
+        const ursa::lint::LexedFile lx = ursa::lint::lex(source);
+        const std::vector<Expectation> expects =
+            parseDirectives(rel, lx.comments, failures);
+        const std::vector<Violation> got =
+            ursa::lint::lintFile(rel, source);
+
+        auto found = [&](const Expectation &e) {
+            return std::any_of(got.begin(), got.end(),
+                               [&](const Violation &v) {
+                                   return v.line == e.line &&
+                                          v.rule == e.rule;
+                               });
+        };
+        for (const Expectation &e : expects) {
+            if (e.mustFire && !found(e))
+                failures.push_back("bait " + rel + ":" +
+                                   std::to_string(e.line) +
+                                   " did not trigger [" + e.rule + "]");
+            else if (!e.mustFire && found(e))
+                failures.push_back("suppression " + rel + ":" +
+                                   std::to_string(e.line) +
+                                   " failed to silence [" + e.rule + "]");
+            else
+                ++(e.mustFire ? fired : suppressedQuiet);
+        }
+        for (const Violation &v : got) {
+            const bool expected = std::any_of(
+                expects.begin(), expects.end(), [&](const Expectation &e) {
+                    return e.mustFire && e.line == v.line && e.rule == v.rule;
+                });
+            if (!expected)
+                failures.push_back("clean line " + rel + ":" +
+                                   std::to_string(v.line) +
+                                   " wrongly triggered [" + v.rule + "]");
+        }
+    }
+    if (files == 0)
+        failures.push_back("no fixture files under " + testdataArg);
+    if (!failures.empty()) {
+        for (const std::string &f : failures)
+            std::fprintf(stderr, "self-test FAIL: %s\n", f.c_str());
+        return 1;
+    }
+    std::printf("self-test OK: %zu bait expectations fired, %zu "
+                "suppressions quiet, %zu fixture files\n",
+                fired, suppressedQuiet, files);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root, testdata;
+    bool selfTestMode = false, listRules = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc)
+            root = argv[++i];
+        else if (arg == "--testdata" && i + 1 < argc)
+            testdata = argv[++i];
+        else if (arg == "--self-test")
+            selfTestMode = true;
+        else if (arg == "--list-rules")
+            listRules = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: ursa-lint --root <dir> | --self-test "
+                         "--testdata <dir> | --list-rules\n");
+            return 2;
+        }
+    }
+    if (listRules) {
+        for (const ursa::lint::RuleInfo &r : ursa::lint::ruleCatalogue())
+            std::printf("%-20s %s\n", r.id, r.summary);
+        return 0;
+    }
+    if (selfTestMode) {
+        if (testdata.empty()) {
+            std::fprintf(stderr,
+                         "error: --self-test requires --testdata <dir>\n");
+            return 2;
+        }
+        return selfTest(testdata);
+    }
+    if (root.empty()) {
+        std::fprintf(stderr, "error: --root is required (or --self-test)\n");
+        return 2;
+    }
+    return lintTree(root);
+}

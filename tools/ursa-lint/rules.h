@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ursa-lint rule engine: the determinism rules ported from
+ * scripts/lint_determinism.py plus the concurrency/hygiene rule
+ * classes that needed a real tokenizer. See RULES in rules.cc for the
+ * catalogue; DESIGN.md §9 documents scope and suppression policy.
+ */
+
+#ifndef URSA_TOOLS_LINT_RULES_H
+#define URSA_TOOLS_LINT_RULES_H
+
+#include "lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa::lint
+{
+
+struct Violation
+{
+    std::string path; ///< repo-relative, '/'-separated
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+/** One catalogue entry (for --list-rules and the docs). */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** The rule catalogue, in reporting order. */
+const std::vector<RuleInfo> &ruleCatalogue();
+
+/** True iff `rule` is a known rule id. */
+bool knownRule(const std::string &rule);
+
+/**
+ * Lint one file. `relPath` is the path relative to the lint root
+ * ('/'-separated) — its first component selects the layer scope (sim,
+ * core, exec, ...) several rules key on. Suppressed violations
+ * (`// ursa-lint: allow(rule)` on the line or the line above) are
+ * already filtered out.
+ */
+std::vector<Violation> lintFile(const std::string &relPath,
+                                const std::string &source);
+
+} // namespace ursa::lint
+
+#endif // URSA_TOOLS_LINT_RULES_H
