@@ -4,13 +4,36 @@
  * social-network application with the open-loop Poisson client for a
  * fixed span of simulated time and reports raw kernel throughput —
  * events/sec and requests/sec of wall-clock time. This is the number
- * the event-queue fast path (SBO callbacks, move-pop, object pools) is
- * judged by; results land in BENCH_kernel.json.
+ * the event kernel (calendar queue, batched dispatch, SBO callbacks,
+ * object pools) is judged by; the historical record lives in the
+ * checked-in BENCH_kernel.json trajectory.
+ *
+ * Two measurements per invocation:
+ *   - the canonical single-simulation run (the PR-1 baseline config:
+ *     one cluster, one client, seed 2024), whose event/request counts
+ *     are bit-stable and pinned by scripts/bench_smoke.py;
+ *   - with URSA_BENCH_SHARDS > 1, a sharded run: N independent copies
+ *     of the app (shard 0 identical to the canonical run) co-advanced
+ *     on ursa::exec via sim::ShardedSim. Counts are bit-identical for
+ *     any URSA_THREADS; wall-clock scales with the thread count.
+ *
+ * Results are written to build/bench_out/ by default so local runs
+ * never clobber the checked-in reference; `--update-reference` appends
+ * a new trajectory entry to the source-tree BENCH_kernel.json (this is
+ * the only way the reference changes).
  *
  * Environment:
  *   URSA_BENCH_REPS       repetitions (default 5; best rep is reported)
  *   URSA_BENCH_SIM_MIN    simulated minutes per rep (default 10)
- *   URSA_BENCH_OUT        output JSON path (default BENCH_kernel.json)
+ *   URSA_BENCH_SHARDS     independent app shards (default 8; 1 = only
+ *                         the canonical single-simulation measurement)
+ *   URSA_THREADS          worker threads for the sharded run
+ *   URSA_EVENTQUEUE       kernel backend ("calendar" default, "heap")
+ *   URSA_BENCH_OUT        output JSON path (default
+ *                         <build>/bench_out/BENCH_kernel.json)
+ *   URSA_BENCH_LABEL      trajectory-entry label for --update-reference
+ *   URSA_BENCH_COMMIT     commit id for --update-reference (default:
+ *                         git rev-parse --short HEAD)
  *   URSA_TRACE_SAMPLING   request-sampling rate of the span tracer
  *                         (default 0 = disabled; used by the CI smoke
  *                         to bound tracing overhead and verify the
@@ -19,15 +42,31 @@
 
 #include "common.h"
 
+#include "exec/thread_pool.h"
 #include "sim/client.h"
+#include "sim/shard.h"
 #include "workload/arrival.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#ifndef URSA_BENCH_OUT_DIR
+#define URSA_BENCH_OUT_DIR "bench_out"
+#endif
+#ifndef URSA_BENCH_REFERENCE
+#define URSA_BENCH_REFERENCE "BENCH_kernel.json"
+#endif
 
 namespace
 {
@@ -37,6 +76,13 @@ envLong(const char *name, long fallback)
 {
     const char *v = std::getenv(name);
     return v ? std::atol(v) : fallback;
+}
+
+std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? v : fallback;
 }
 
 struct RunResult
@@ -49,81 +95,290 @@ struct RunResult
     double requestsPerSec() const { return requests / wallSec; }
 };
 
+/** One shard: the canonical app cluster plus its open-loop client.
+ * Shard 0 reproduces the PR-1 canonical run bit-exactly. */
+struct Shard
+{
+    std::unique_ptr<ursa::sim::Cluster> cluster;
+    std::unique_ptr<ursa::sim::OpenLoopClient> client;
+
+    Shard(const ursa::apps::AppSpec &app, std::uint64_t seed)
+    {
+        using namespace ursa;
+        cluster = std::make_unique<sim::Cluster>(seed);
+        app.instantiate(*cluster);
+        if (const char *s = std::getenv("URSA_TRACE_SAMPLING"))
+            cluster->tracer().setSampling(std::atof(s));
+        client = std::make_unique<sim::OpenLoopClient>(
+            *cluster, workload::constantRate(app.nominalRps),
+            sim::fixedMix(app.exploreMix), seed + 5);
+        client->start(0);
+    }
+};
+
 RunResult
 runOnce(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
-        std::uint64_t seed)
+        std::uint64_t seed, int shards)
 {
     using namespace ursa;
-    sim::Cluster cluster(seed);
-    app.instantiate(cluster);
-    if (const char *s = std::getenv("URSA_TRACE_SAMPLING"))
-        cluster.tracer().setSampling(std::atof(s));
-    sim::OpenLoopClient client(cluster,
-                               workload::constantRate(app.nominalRps),
-                               sim::fixedMix(app.exploreMix), seed + 5);
-    client.start(0);
+    std::vector<std::unique_ptr<Shard>> fleet;
+    sim::ShardedSim sim;
+    for (int k = 0; k < shards; ++k) {
+        // Shard 0 keeps the canonical seed; the rest decorrelate.
+        const std::uint64_t shardSeed =
+            k == 0 ? seed
+                   : seed + 1000003ULL * static_cast<std::uint64_t>(k);
+        fleet.push_back(std::make_unique<Shard>(app, shardSeed));
+        sim.addShard(*fleet.back()->cluster);
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
-    cluster.run(simSpan);
+    sim.run(simSpan);
     const auto t1 = std::chrono::steady_clock::now();
 
     RunResult r;
     r.wallSec = std::chrono::duration<double>(t1 - t0).count();
-    r.events = cluster.events().processed();
-    r.requests = client.submitted();
+    r.events = sim.eventsProcessed();
+    for (const auto &shard : fleet)
+        r.requests += shard->client->submitted();
     return r;
 }
 
-} // namespace
-
-int
-main()
+RunResult
+bestOf(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
+       long reps, int shards)
 {
-    using namespace ursa;
-
-    const long reps = std::max(1L, envLong("URSA_BENCH_REPS", 5));
-    const long simMin = std::max(1L, envLong("URSA_BENCH_SIM_MIN", 10));
-    const char *outEnv = std::getenv("URSA_BENCH_OUT");
-    const std::string outPath = outEnv ? outEnv : "BENCH_kernel.json";
-
-    const apps::AppSpec app = bench::makeApp(bench::AppId::Social);
-    const sim::SimTime simSpan = simMin * sim::kMin;
-
-    std::printf("kernel bench: %s, %ld sim-min x %ld reps\n",
-                app.name.c_str(), simMin, reps);
-
     RunResult best;
     for (long i = 0; i < reps; ++i) {
-        const RunResult r = runOnce(app, simSpan, 2024);
+        const RunResult r = runOnce(app, simSpan, 2024, shards);
         std::printf(
-            "  rep %ld: %8.3f s wall, %10llu events (%.3fM ev/s), "
+            "  %-7s rep %ld: %8.3f s wall, %10llu events (%.3fM ev/s), "
             "%8llu requests (%.1fk req/s)\n",
-            i, r.wallSec, static_cast<unsigned long long>(r.events),
+            shards > 1 ? "sharded" : "single", i, r.wallSec,
+            static_cast<unsigned long long>(r.events),
             r.eventsPerSec() / 1e6,
             static_cast<unsigned long long>(r.requests),
             r.requestsPerSec() / 1e3);
         if (best.wallSec == 0.0 || r.eventsPerSec() > best.eventsPerSec())
             best = r;
     }
+    return best;
+}
 
-    std::printf("best: %.3fM events/s, %.1fk requests/s\n",
-                best.eventsPerSec() / 1e6, best.requestsPerSec() / 1e3);
+std::string
+isoDate()
+{
+    if (const char *d = std::getenv("URSA_BENCH_DATE"))
+        return d;
+    const std::time_t t = std::time(nullptr);
+    char buf[16];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d", std::localtime(&t));
+    return buf;
+}
 
-    std::ofstream out(outPath);
-    out.precision(10);
-    out << "{\n"
-        << "  \"app\": \"" << app.name << "\",\n"
-        << "  \"sim_minutes\": " << simMin << ",\n"
-        << "  \"reps\": " << reps << ",\n"
-        << "  \"events\": " << best.events << ",\n"
-        << "  \"requests\": " << best.requests << ",\n"
-        << "  \"wall_sec\": " << best.wallSec << ",\n"
-        << "  \"events_per_sec\": " << best.eventsPerSec() << ",\n"
-        << "  \"requests_per_sec\": " << best.requestsPerSec() << "\n"
-        << "}\n";
-    if (out)
+std::string
+gitCommit()
+{
+    if (const char *c = std::getenv("URSA_BENCH_COMMIT"))
+        return c;
+    const std::string cmd = "git -C \"" +
+                            std::filesystem::path(URSA_BENCH_REFERENCE)
+                                .parent_path()
+                                .string() +
+                            "\" rev-parse --short HEAD 2>/dev/null";
+    if (FILE *p = popen(cmd.c_str(), "r")) {
+        char buf[64] = {0};
+        if (fgets(buf, sizeof buf, p) != nullptr)
+            buf[std::strcspn(buf, "\n")] = '\0';
+        pclose(p);
+        if (buf[0] != '\0')
+            return buf;
+    }
+    return "unknown";
+}
+
+/** Serialize one trajectory entry (the reference-file record). */
+std::string
+entryJson(const RunResult &single, const RunResult &sharded, int shards,
+          int threads, const std::string &backend,
+          const std::string &label, const std::string &indent)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << indent << "{\n"
+       << indent << "  \"label\": \"" << label << "\",\n"
+       << indent << "  \"date\": \"" << isoDate() << "\",\n"
+       << indent << "  \"commit\": \"" << gitCommit() << "\",\n"
+       << indent << "  \"backend\": \"" << backend << "\",\n"
+       << indent << "  \"shards\": " << shards << ",\n"
+       << indent << "  \"threads\": " << threads << ",\n"
+       << indent << "  \"events\": " << sharded.events << ",\n"
+       << indent << "  \"requests\": " << sharded.requests << ",\n"
+       << indent << "  \"wall_sec\": " << sharded.wallSec << ",\n"
+       << indent << "  \"events_per_sec\": " << sharded.eventsPerSec()
+       << ",\n"
+       << indent << "  \"requests_per_sec\": " << sharded.requestsPerSec()
+       << ",\n"
+       << indent << "  \"single\": {\n"
+       << indent << "    \"events\": " << single.events << ",\n"
+       << indent << "    \"requests\": " << single.requests << ",\n"
+       << indent << "    \"wall_sec\": " << single.wallSec << ",\n"
+       << indent << "    \"events_per_sec\": " << single.eventsPerSec()
+       << ",\n"
+       << indent << "    \"requests_per_sec\": "
+       << single.requestsPerSec() << "\n"
+       << indent << "  }\n"
+       << indent << "}";
+    return os.str();
+}
+
+/**
+ * Append `entry` to the "trajectory" array of the checked-in reference
+ * (a file whose format this benchmark owns). Returns false when the
+ * array cannot be located.
+ */
+bool
+appendTrajectoryEntry(const std::string &path, const std::string &entry)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    const std::size_t arrayKey = text.find("\"trajectory\": [");
+    if (arrayKey == std::string::npos)
+        return false;
+    const std::size_t open = text.find('[', arrayKey);
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '[')
+            ++depth;
+        else if (text[i] == ']' && --depth == 0) {
+            close = i;
+            break;
+        }
+    }
+    if (close == std::string::npos)
+        return false;
+
+    // Trim trailing whitespace inside the array, then splice in
+    // ",\n<entry>\n  " before the closing bracket.
+    std::size_t end = close;
+    while (end > open + 1 &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    const bool empty = end == open + 1;
+    const std::string splice =
+        (empty ? std::string("\n") : std::string(",\n")) + entry + "\n  ";
+    text = text.substr(0, end) + splice + text.substr(close);
+
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ursa;
+
+    bool updateReference = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--update-reference") == 0) {
+            updateReference = true;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    const long reps = std::max(1L, envLong("URSA_BENCH_REPS", 5));
+    const long simMin = std::max(1L, envLong("URSA_BENCH_SIM_MIN", 10));
+    const int shards =
+        static_cast<int>(std::max(1L, envLong("URSA_BENCH_SHARDS", 8)));
+    const std::string outPath = envStr(
+        "URSA_BENCH_OUT",
+        std::string(URSA_BENCH_OUT_DIR) + "/BENCH_kernel.json");
+
+    const apps::AppSpec app = bench::makeApp(bench::AppId::Social);
+    const sim::SimTime simSpan = simMin * sim::kMin;
+    const sim::EventQueue queueProbe; // resolves URSA_EVENTQUEUE once
+    const std::string backend =
+        queueProbe.backend() == sim::EventQueue::Backend::Heap
+            ? "heap"
+            : "calendar";
+    const int threads = exec::threadCount();
+
+    std::printf("kernel bench: %s, %ld sim-min x %ld reps, %s backend, "
+                "%d shard(s), %d thread(s)\n",
+                app.name.c_str(), simMin, reps, backend.c_str(), shards,
+                threads);
+
+    const RunResult single = bestOf(app, simSpan, reps, 1);
+    const RunResult sharded =
+        shards > 1 ? bestOf(app, simSpan, reps, shards) : single;
+
+    std::printf("best single:  %.3fM events/s, %.1fk requests/s\n",
+                single.eventsPerSec() / 1e6,
+                single.requestsPerSec() / 1e3);
+    if (shards > 1)
+        std::printf("best sharded: %.3fM events/s, %.1fk requests/s "
+                    "(%d shards, %d threads)\n",
+                    sharded.eventsPerSec() / 1e6,
+                    sharded.requestsPerSec() / 1e3, shards, threads);
+
+    const std::filesystem::path out(outPath);
+    if (out.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(out.parent_path(), ec);
+    }
+    std::ofstream os(outPath);
+    os.precision(10);
+    os << "{\n"
+       << "  \"app\": \"" << app.name << "\",\n"
+       << "  \"sim_minutes\": " << simMin << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"backend\": \"" << backend << "\",\n"
+       << "  \"shards\": " << shards << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"events\": " << single.events << ",\n"
+       << "  \"requests\": " << single.requests << ",\n"
+       << "  \"wall_sec\": " << single.wallSec << ",\n"
+       << "  \"events_per_sec\": " << single.eventsPerSec() << ",\n"
+       << "  \"requests_per_sec\": " << single.requestsPerSec() << ",\n"
+       << "  \"sharded\": {\n"
+       << "    \"events\": " << sharded.events << ",\n"
+       << "    \"requests\": " << sharded.requests << ",\n"
+       << "    \"wall_sec\": " << sharded.wallSec << ",\n"
+       << "    \"events_per_sec\": " << sharded.eventsPerSec() << ",\n"
+       << "    \"requests_per_sec\": " << sharded.requestsPerSec() << "\n"
+       << "  }\n"
+       << "}\n";
+    if (os)
         std::printf("wrote %s\n", outPath.c_str());
     else
         std::fprintf(stderr, "failed to write %s\n", outPath.c_str());
+
+    if (updateReference) {
+        const std::string label =
+            envStr("URSA_BENCH_LABEL", "local update");
+        const std::string entry = entryJson(
+            single, sharded, shards, threads, backend, label, "    ");
+        if (appendTrajectoryEntry(URSA_BENCH_REFERENCE, entry)) {
+            std::printf("appended trajectory entry to %s\n",
+                        URSA_BENCH_REFERENCE);
+        } else {
+            std::fprintf(stderr,
+                         "failed to update reference %s (no trajectory "
+                         "array?)\n",
+                         URSA_BENCH_REFERENCE);
+            return 1;
+        }
+    }
     return 0;
 }

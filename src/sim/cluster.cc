@@ -68,6 +68,7 @@ Cluster::finalize()
             resolved_[s][cls] = std::move(targets);
         }
     }
+    rootService_.reserve(classes_.size());
     for (const RequestClassSpec &spec : classes_) {
         const ServiceId root = serviceId(spec.rootService);
         if (!services_[root]->config().behaviors.count(
@@ -75,6 +76,22 @@ Cluster::finalize()
             throw std::invalid_argument(
                 "root service " + spec.rootService +
                 " has no behavior for class " + spec.name);
+        }
+        rootService_.push_back(root);
+    }
+    // Dense dispatch tables: one flat [service][class] grid replacing
+    // the per-invocation map lookups on the hot path.
+    behaviorTable_.assign(services_.size() * classes_.size(), nullptr);
+    targetTable_.assign(services_.size() * classes_.size(), nullptr);
+    for (ServiceId s = 0; s < numServices(); ++s) {
+        for (const auto &[cls, behavior] : services_[s]->config().behaviors) {
+            if (cls < 0 || cls >= numClasses()) {
+                throw std::invalid_argument(
+                    "service " + services_[s]->config().name +
+                    " has a behavior for an unknown class id");
+            }
+            behaviorTable_[tableIndex(s, cls)] = &behavior;
+            targetTable_[tableIndex(s, cls)] = &resolved_[s].at(cls);
         }
     }
     finalized_ = true;
@@ -133,7 +150,7 @@ Cluster::submit(ClassId c)
         req->rootSpan = tracer_.nextSpanId();
     }
 
-    const ServiceId root = serviceId(spec.rootService);
+    const ServiceId root = rootService_[c];
     invoke(root, req, [this, req] {
         req->syncDone = true;
         req->syncDoneTime = events_.now();
@@ -153,10 +170,11 @@ InvocationPtr
 Cluster::makeInvocation(ServiceId target, const RequestPtr &req,
                         trace::SpanId parentSpan, trace::HopKind hop)
 {
-    Service &svc = *services_.at(target);
-    const auto bit = svc.config().behaviors.find(req->classId);
-    if (bit == svc.config().behaviors.end()) {
-        throw std::logic_error("service " + svc.config().name +
+    const std::size_t idx = tableIndex(target, req->classId);
+    const ClassBehavior *behavior = behaviorTable_[idx];
+    if (behavior == nullptr) {
+        throw std::logic_error("service " +
+                               services_.at(target)->config().name +
                                " has no behavior for class " +
                                classes_.at(req->classId).name);
     }
@@ -164,8 +182,8 @@ Cluster::makeInvocation(ServiceId target, const RequestPtr &req,
         PoolAllocator<Invocation>(pool_));
     inv->req = req;
     inv->serviceId = target;
-    inv->behavior = &bit->second;
-    inv->targets = &resolved_.at(target).at(req->classId);
+    inv->behavior = behavior;
+    inv->targets = targetTable_[idx];
     inv->arrival = events_.now();
     if (req->traced) {
         inv->span = tracer_.nextSpanId();

@@ -109,6 +109,7 @@ class Cluster
     // --- infrastructure ------------------------------------------------
 
     EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
     stats::Rng &rng() { return rng_; }
@@ -174,6 +175,22 @@ class Cluster
     std::map<std::string, ClassId> classByName_;
     /// resolved call targets: [service][class] -> target ids
     std::vector<std::map<ClassId, std::vector<ServiceId>>> resolved_;
+    /// Dense dispatch tables, built once at finalize() so the per-
+    /// invocation hot path does no map or string lookups. Indexed
+    /// [service * numClasses + class]; null where the service has no
+    /// behavior for the class. Pointees live in the services' configs
+    /// and in resolved_ (stable after finalize).
+    std::vector<const ClassBehavior *> behaviorTable_;
+    std::vector<const std::vector<ServiceId> *> targetTable_;
+    /// Root service of each class, resolved once at finalize().
+    std::vector<ServiceId> rootService_;
+
+    std::size_t tableIndex(ServiceId s, ClassId c) const
+    {
+        return static_cast<std::size_t>(s) * classes_.size() +
+               static_cast<std::size_t>(c);
+    }
+
     bool finalized_ = false;
     bool samplerArmed_ = false;
     SimTime sampleInterval_;

@@ -1,20 +1,167 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 namespace ursa::sim
 {
 
+namespace
+{
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+/// Calendar geometry bounds. Width is clamped to [16us, ~4.2s]; the
+/// bucket count to [64, 65536] (sized at ~4x pending population so the
+/// expected occupancy stays around a quarter event per bucket).
+constexpr int kMinWidthShift = 4;
+constexpr int kMaxWidthShift = 22;
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = 65536;
+
+EventQueue::Backend
+backendFromEnv()
+{
+    const char *v = std::getenv("URSA_EVENTQUEUE");
+    if (v == nullptr || *v == '\0')
+        return EventQueue::Backend::Calendar;
+    const std::string_view s(v);
+    if (s == "calendar")
+        return EventQueue::Backend::Calendar;
+    if (s == "heap")
+        return EventQueue::Backend::Heap;
+    throw std::runtime_error(
+        "URSA_EVENTQUEUE must be 'calendar' or 'heap'");
+}
+
+} // namespace
+
+EventQueue::EventQueue() : EventQueue(backendFromEnv()) {}
+
+EventQueue::EventQueue(Backend backend) : backend_(backend)
+{
+    if (backend_ == Backend::Calendar) {
+        buckets_.resize(kMinBuckets);
+        epochEnd_ = static_cast<SimTime>(buckets_.size()) << widthShift_;
+    }
+}
+
 void
 EventQueue::schedule(SimTime at, Callback fn)
 {
     // Past scheduling stays a throwing contract (callers and tests
-    // rely on the exception); the dispatch-side audit in auditPopOrder
-    // owns the monotonicity invariant.
+    // rely on the exception); the dispatch-side audits own the
+    // monotonicity invariant.
     if (at < now_)
         throw std::logic_error("scheduling an event in the past");
-    Entry e{at, seq_++, std::move(fn)};
+    if (backend_ == Backend::Heap)
+        heapPush(Entry{at, seq_++, std::move(fn)});
+    else
+        scheduleCalendar(at, std::move(fn));
+#if URSA_CHECK_LEVEL >= 2
+    maybeAuditStructure();
+#endif
+}
+
+void
+EventQueue::scheduleIn(SimTime delay, Callback fn)
+{
+    if (delay < 0)
+        throw std::logic_error("negative event delay");
+    schedule(now_ + delay, std::move(fn));
+}
+
+bool
+EventQueue::runNext()
+{
+    if (backend_ == Backend::Heap) {
+        if (heap_.empty())
+            return false;
+        Entry e = popTop();
+#if URSA_CHECK_LEVEL >= 1
+        auditBatchStart(e.at);
+        URSA_CHECK(e.at > lastAt_ || (e.at == lastAt_ && e.seq > lastSeq_),
+                   "sim.event_queue",
+                   "FIFO tie-break violation: (time, seq) not increasing");
+        lastAt_ = e.at;
+        lastSeq_ = e.seq;
+#endif
+        now_ = e.at;
+        ++processed_;
+        e.fn();
+        return true;
+    }
+
+    if (count_ == 0 || !pullNextDay(kNoEvent))
+        return false;
+    const Key k = day_[dayPos_++];
+#if URSA_CHECK_LEVEL >= 1
+    auditBatchStart(k.at);
+    URSA_CHECK(k.at > lastAt_ || (k.at == lastAt_ && k.seq > lastSeq_),
+               "sim.event_queue",
+               "FIFO tie-break violation: (time, seq) not increasing");
+    lastAt_ = k.at;
+    lastSeq_ = k.seq;
+#endif
+    if (lastDispatchAt_ >= 0 && k.at > lastDispatchAt_) {
+        gapSum_ += k.at - lastDispatchAt_;
+        ++gapCount_;
+    }
+    lastDispatchAt_ = k.at;
+    now_ = k.at;
+    --count_;
+    ++processed_;
+    Callback fn = std::move(slots_[k.slot]);
+    freeSlots_.push_back(k.slot);
+    if (dayPos_ >= day_.size()) {
+        day_.clear();
+        dayPos_ = 0;
+    }
+    fn();
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime until)
+{
+    if (backend_ == Backend::Heap)
+        runUntilHeap(until);
+    else
+        runUntilCalendar(until);
+}
+
+SimTime
+EventQueue::nextEventTime()
+{
+    if (backend_ == Backend::Heap)
+        return heap_.empty() ? kNoEvent : heap_.front().at;
+    if (count_ == 0)
+        return kNoEvent;
+    // The day run list holds everything below the frontier, so its
+    // front (sorted) is the global minimum when non-empty; otherwise
+    // the first occupied bucket beats every later bucket and the
+    // overflow ladder (all at or beyond the epoch end).
+    if (dayPos_ < day_.size())
+        return day_[dayPos_].at;
+    for (std::size_t c = cursor_; c < buckets_.size(); ++c) {
+        if (buckets_[c].empty())
+            continue;
+        SimTime best = kNoEvent;
+        for (const Key &k : buckets_[c])
+            best = std::min(best, k.at);
+        return best;
+    }
+    return overflow_.empty() ? kNoEvent : minOverflow_;
+}
+
+// --- heap backend -------------------------------------------------------
+
+void
+EventQueue::heapPush(Entry e)
+{
     // Hole-based sift-up: parents slide down until e's slot is found,
     // so each level costs one entry move instead of a swap.
     heap_.emplace_back();
@@ -27,20 +174,6 @@ EventQueue::schedule(SimTime at, Callback fn)
         i = parent;
     }
     heap_[i] = std::move(e);
-#if URSA_CHECK_LEVEL >= 2
-    if (auditCountdown_-- == 0) {
-        auditCountdown_ = kAuditStride - 1;
-        auditHeap();
-    }
-#endif
-}
-
-void
-EventQueue::scheduleIn(SimTime delay, Callback fn)
-{
-    if (delay < 0)
-        throw std::logic_error("negative event delay");
-    schedule(now_ + delay, std::move(fn));
 }
 
 EventQueue::Entry
@@ -70,28 +203,18 @@ EventQueue::popTop()
     return top;
 }
 
-bool
-EventQueue::runNext()
-{
-    if (heap_.empty())
-        return false;
-    Entry e = popTop();
-#if URSA_CHECK_LEVEL >= 1
-    auditPopOrder(e);
-#endif
-    now_ = e.at;
-    ++processed_;
-    e.fn();
-    return true;
-}
-
 void
-EventQueue::runUntil(SimTime until)
+EventQueue::runUntilHeap(SimTime until)
 {
     while (!heap_.empty() && heap_.front().at <= until) {
         Entry e = popTop();
 #if URSA_CHECK_LEVEL >= 1
-        auditPopOrder(e);
+        auditBatchStart(e.at);
+        URSA_CHECK(e.at > lastAt_ || (e.at == lastAt_ && e.seq > lastSeq_),
+                   "sim.event_queue",
+                   "FIFO tie-break violation: (time, seq) not increasing");
+        lastAt_ = e.at;
+        lastSeq_ = e.seq;
 #endif
         now_ = e.at;
         ++processed_;
@@ -101,33 +224,229 @@ EventQueue::runUntil(SimTime until)
         now_ = until;
 }
 
+// --- calendar backend ---------------------------------------------------
+
+std::uint32_t
+EventQueue::storeSlot(Callback &&fn)
+{
+    if (!freeSlots_.empty()) {
+        const std::uint32_t s = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[s] = std::move(fn);
+        return s;
+    }
+    slots_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::scheduleCalendar(SimTime at, Callback &&fn)
+{
+    if (count_ == 0) {
+        // Empty queue: re-anchor the epoch so `at` lands in bucket 0
+        // instead of trickling through the overflow ladder after the
+        // cursor wrapped.
+        const SimTime width = SimTime{1} << widthShift_;
+        day_.clear();
+        dayPos_ = 0;
+        epochStart_ = at & ~(width - 1);
+        epochEnd_ = epochStart_ +
+                    (static_cast<SimTime>(buckets_.size()) << widthShift_);
+        frontier_ = epochStart_;
+        cursor_ = 0;
+        overflow_.clear();
+    }
+    calendarInsert(Key{at, seq_++, storeSlot(std::move(fn))});
+    ++count_;
+    // A burst outgrew the grid: rebuild (recalibrating width and bucket
+    // count) the next time the drain loop is between days.
+    if (count_ > 4 * buckets_.size())
+        resizePending_ = true;
+}
+
+void
+EventQueue::calendarInsert(Key k)
+{
+    if (k.at < frontier_) {
+        // The bucket covering this time was already pulled: insert
+        // into the sorted day run list at the exact (time, seq) spot.
+        const auto it = std::upper_bound(day_.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 dayPos_),
+                                         day_.end(), k, keyEarlier);
+        day_.insert(it, k);
+    } else if (k.at < epochEnd_) {
+        buckets_[static_cast<std::size_t>((k.at - epochStart_) >>
+                                          widthShift_)]
+            .push_back(k);
+    } else {
+        if (overflow_.empty() || k.at < minOverflow_)
+            minOverflow_ = k.at;
+        overflow_.push_back(k);
+    }
+}
+
+bool
+EventQueue::pullNextDay(SimTime until)
+{
+    for (;;) {
+        if (dayPos_ < day_.size())
+            return day_[dayPos_].at <= until;
+        day_.clear();
+        dayPos_ = 0;
+        if (resizePending_) {
+            resizePending_ = false;
+            rebuildEpoch(frontier_);
+        }
+        const SimTime width = SimTime{1} << widthShift_;
+        while (cursor_ < buckets_.size()) {
+            std::vector<Key> &b = buckets_[cursor_];
+            ++cursor_;
+            frontier_ += width;
+            if (b.empty())
+                continue;
+            // Swap so the day list inherits the keys and the bucket
+            // keeps the old day capacity for reuse.
+            day_.swap(b);
+            std::sort(day_.begin(), day_.end(), keyEarlier);
+            return day_[0].at <= until;
+        }
+        if (overflow_.empty() || minOverflow_ > until)
+            return false;
+        rebuildEpoch(minOverflow_);
+    }
+}
+
+void
+EventQueue::runBatch()
+{
+    const SimTime at = day_[dayPos_].at;
+#if URSA_CHECK_LEVEL >= 1
+    auditBatchStart(at);
+#endif
+    if (lastDispatchAt_ >= 0 && at > lastDispatchAt_) {
+        gapSum_ += at - lastDispatchAt_;
+        ++gapCount_;
+    }
+    lastDispatchAt_ = at;
+    now_ = at;
+    // Drain the whole time band; callbacks may schedule more events at
+    // this same timestamp, which land after dayPos_ (their seq is
+    // larger than every pending one) and extend the batch.
+    while (dayPos_ < day_.size() && day_[dayPos_].at == at) {
+        const Key k = day_[dayPos_++];
+#if URSA_CHECK_LEVEL >= 1
+        URSA_CHECK(k.at > lastAt_ || (k.at == lastAt_ && k.seq > lastSeq_),
+                   "sim.event_queue",
+                   "FIFO tie-break violation: (time, seq) not increasing");
+        lastAt_ = k.at;
+        lastSeq_ = k.seq;
+#endif
+        --count_;
+        ++processed_;
+        Callback fn = std::move(slots_[k.slot]);
+        freeSlots_.push_back(k.slot);
+        fn();
+    }
+    if (dayPos_ >= day_.size()) {
+        day_.clear();
+        dayPos_ = 0;
+    }
+}
+
+void
+EventQueue::runUntilCalendar(SimTime until)
+{
+    while (pullNextDay(until))
+        runBatch();
+    if (until > now_)
+        now_ = until;
+}
+
+void
+EventQueue::rebuildEpoch(SimTime startAt)
+{
+    // Gather every key still in the grid or the ladder. Buckets before
+    // the cursor are empty by construction.
+    std::vector<Key> all;
+    all.reserve(count_ - (day_.size() - dayPos_));
+    for (std::vector<Key> &b : buckets_) {
+        all.insert(all.end(), b.begin(), b.end());
+        b.clear();
+    }
+    all.insert(all.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+
+    // Recalibrate the bucket width from the mean gap between distinct
+    // dispatch times: ~2 distinct times per bucket keeps the pull/sort
+    // batches small without walking empty buckets.
+    if (gapCount_ >= 16) {
+        const SimTime target =
+            std::max<SimTime>(2 * (gapSum_ / static_cast<SimTime>(gapCount_)),
+                              1);
+        int shift = kMinWidthShift;
+        while ((SimTime{1} << shift) < target && shift < kMaxWidthShift)
+            ++shift;
+        widthShift_ = shift;
+        // Halve instead of reset: keep memory of the workload but stay
+        // adaptive to phase changes.
+        gapSum_ /= 2;
+        gapCount_ /= 2;
+    }
+    std::size_t nb = kMinBuckets;
+    while (nb < 4 * all.size() && nb < kMaxBuckets)
+        nb *= 2;
+    if (buckets_.size() != nb)
+        buckets_.resize(nb);
+
+    const SimTime width = SimTime{1} << widthShift_;
+    epochStart_ = startAt & ~(width - 1);
+    epochEnd_ = epochStart_ + (static_cast<SimTime>(nb) << widthShift_);
+    frontier_ = epochStart_;
+    cursor_ = 0;
+    for (const Key &k : all)
+        calendarInsert(k);
+}
+
 #if URSA_CHECK_LEVEL >= 1
 
 void
-EventQueue::auditPopOrder(const Entry &e)
+EventQueue::auditBatchStart(SimTime at)
 {
-    check::noteSimTime(e.at);
-    URSA_CHECK(e.at >= now_, "sim.event_queue",
+    check::noteSimTime(at);
+    URSA_CHECK(at >= now_, "sim.event_queue",
                "dispatch order violation: event earlier than sim clock");
-    URSA_CHECK(e.at > lastAt_ || (e.at == lastAt_ && e.seq > lastSeq_),
-               "sim.event_queue",
-               "FIFO tie-break violation: (time, seq) not increasing");
-    lastAt_ = e.at;
-    lastSeq_ = e.seq;
 #if URSA_CHECK_LEVEL >= 2
-    if (auditCountdown_-- == 0) {
-        auditCountdown_ = kAuditStride - 1;
-        auditHeap();
-    }
+    maybeAuditStructure();
 #endif
 }
 
 void
 EventQueue::corruptOrderForTest()
 {
-    if (heap_.size() < 2)
+    if (backend_ == Backend::Heap) {
+        if (heap_.size() < 2)
+            return;
+        std::swap(heap_[0], heap_[1]);
         return;
-    std::swap(heap_[0], heap_[1]);
+    }
+    if (count_ < 2)
+        return;
+    // Flatten the whole calendar into the day run list, then swap the
+    // two earliest keys. The epoch collapses (start == end, cursor at
+    // the end) so later inserts go through the overflow ladder and the
+    // next wrap rebuilds a fresh epoch.
+    for (std::vector<Key> &b : buckets_) {
+        day_.insert(day_.end(), b.begin(), b.end());
+        b.clear();
+    }
+    day_.insert(day_.end(), overflow_.begin(), overflow_.end());
+    overflow_.clear();
+    std::sort(day_.begin() + static_cast<std::ptrdiff_t>(dayPos_),
+              day_.end(), keyEarlier);
+    epochStart_ = epochEnd_ = frontier_ = day_.back().at + 1;
+    cursor_ = buckets_.size();
+    std::swap(day_[dayPos_], day_[dayPos_ + 1]);
 }
 
 #endif // URSA_CHECK_LEVEL >= 1
@@ -135,16 +454,72 @@ EventQueue::corruptOrderForTest()
 #if URSA_CHECK_LEVEL >= 2
 
 void
-EventQueue::auditHeap()
+EventQueue::maybeAuditStructure()
 {
-    for (std::size_t i = 1; i < heap_.size(); ++i) {
-        const std::size_t parent = (i - 1) / 2;
-        URSA_CHECK_SLOW(earlier(heap_[parent], heap_[i]),
-                        "sim.event_queue",
-                        "heap-order violation between parent and child");
-        URSA_CHECK_SLOW(heap_[i].at >= now_, "sim.event_queue",
-                        "pending event earlier than the sim clock");
+    if (auditCountdown_-- == 0) {
+        auditCountdown_ = kAuditStride - 1;
+        auditStructure();
     }
+}
+
+void
+EventQueue::auditStructure()
+{
+    if (backend_ == Backend::Heap) {
+        for (std::size_t i = 1; i < heap_.size(); ++i) {
+            const std::size_t parent = (i - 1) / 2;
+            URSA_CHECK_SLOW(earlier(heap_[parent], heap_[i]),
+                            "sim.event_queue",
+                            "heap-order violation between parent and child");
+            URSA_CHECK_SLOW(heap_[i].at >= now_, "sim.event_queue",
+                            "pending event earlier than the sim clock");
+        }
+        return;
+    }
+
+    // Day run list: sorted by (time, seq), nothing before the clock,
+    // everything below the frontier.
+    std::size_t live = day_.size() - dayPos_;
+    for (std::size_t i = dayPos_; i < day_.size(); ++i) {
+        URSA_CHECK_SLOW(day_[i].at >= now_, "sim.event_queue",
+                        "day-list event earlier than the sim clock");
+        URSA_CHECK_SLOW(day_[i].at < frontier_, "sim.event_queue",
+                        "day-list event at or beyond the frontier");
+        if (i > dayPos_)
+            URSA_CHECK_SLOW(keyEarlier(day_[i - 1], day_[i]),
+                            "sim.event_queue",
+                            "day run list out of (time, seq) order");
+    }
+    // Bucket grid: drained buckets empty, keys hash to their bucket.
+    for (std::size_t c = 0; c < buckets_.size(); ++c) {
+        if (c < cursor_) {
+            URSA_CHECK_SLOW(buckets_[c].empty(), "sim.event_queue",
+                            "drained calendar bucket is not empty");
+            continue;
+        }
+        live += buckets_[c].size();
+        for (const Key &k : buckets_[c]) {
+            URSA_CHECK_SLOW(
+                static_cast<std::size_t>((k.at - epochStart_) >>
+                                         widthShift_) == c,
+                "sim.event_queue", "calendar key in the wrong bucket");
+            URSA_CHECK_SLOW(k.at >= frontier_, "sim.event_queue",
+                            "bucketed event below the frontier");
+        }
+    }
+    // Overflow ladder: beyond the epoch, with an exact cached minimum.
+    live += overflow_.size();
+    SimTime minSeen = kNoEvent;
+    for (const Key &k : overflow_) {
+        URSA_CHECK_SLOW(k.at >= epochEnd_, "sim.event_queue",
+                        "overflow event inside the epoch horizon");
+        minSeen = std::min(minSeen, k.at);
+    }
+    if (!overflow_.empty())
+        URSA_CHECK_SLOW(minSeen == minOverflow_, "sim.event_queue",
+                        "stale overflow minimum cache");
+    URSA_CHECK_SLOW(live == count_, "sim.event_queue",
+                    "calendar population does not match pending count");
 }
 
 #endif // URSA_CHECK_LEVEL >= 2

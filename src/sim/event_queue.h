@@ -4,10 +4,25 @@
  * monotone clock. Ties are broken by insertion order so the simulation
  * is fully deterministic.
  *
- * Fast path: entries hold a small-buffer-optimized move-only callback
- * (InlineCallback) instead of a `std::function`, the heap is a
- * hand-rolled binary min-heap whose sifts move entries through a hole
- * (no swaps, no copies), and the top entry is moved out on pop.
+ * Two backends share one strict (time, seq) total order:
+ *
+ *  - `Calendar` (default): a calendar queue tuned for the banded
+ *    timestamp distributions our workloads produce. Scheduling appends
+ *    a 24-byte key to a time bucket (O(1)); the callback body lives in
+ *    a slot slab and never moves with the key (struct-of-arrays — heap
+ *    sifts used to relocate 80-byte entries one level at a time).
+ *    Bucket width is a power of two, recalibrated from the observed
+ *    inter-event gap at every epoch rebuild; events beyond the epoch
+ *    horizon wait in an overflow ladder. Draining pulls one bucket at
+ *    a time into a run list sorted by exact (time, seq), so dispatch
+ *    order is bit-identical to the heap's.
+ *  - `Heap` (`URSA_EVENTQUEUE=heap`): the PR-1 hand-rolled binary
+ *    min-heap, kept as the A/B benching baseline and the differential
+ *    -test oracle.
+ *
+ * Dispatch is batched: all events of one timestamp drain as a band —
+ * the clock advances once and the order audit runs per batch instead
+ * of per event.
  */
 
 #ifndef URSA_SIM_EVENT_QUEUE_H
@@ -28,6 +43,22 @@ class EventQueue
 {
   public:
     using Callback = InlineCallback;
+
+    /** Event-ordering backend. */
+    enum class Backend
+    {
+        Calendar, ///< calendar queue, O(1) amortized (default)
+        Heap,     ///< binary min-heap oracle (URSA_EVENTQUEUE=heap)
+    };
+
+    /** Backend from URSA_EVENTQUEUE ("heap"/"calendar"; default calendar). */
+    EventQueue();
+
+    /** Explicit backend (differential tests, A/B benching). */
+    explicit EventQueue(Backend backend);
+
+    /** Active backend. */
+    Backend backend() const { return backend_; }
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -54,22 +85,30 @@ class EventQueue
     void runUntil(SimTime until);
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const
+    {
+        return backend_ == Backend::Heap ? heap_.size() : count_;
+    }
 
     /** Total events executed so far. */
     std::uint64_t processed() const { return processed_; }
 
+    /** Earliest pending event time, or `empty` sentinel (max SimTime). */
+    SimTime nextEventTime();
+
 #if URSA_CHECK_LEVEL >= 1
     /**
      * Violation injection for the check layer's own tests: swap the
-     * two earliest heap entries so the next pops run out of (time,
-     * seq) order and the level-1 monotonicity check fires. No-op with
+     * two earliest entries so the next pops run out of (time, seq)
+     * order and the level-1 monotonicity check fires. No-op with
      * fewer than two pending events.
      */
     void corruptOrderForTest();
 #endif
 
   private:
+    // --- heap backend ---------------------------------------------------
+
     struct Entry
     {
         SimTime at = 0;
@@ -86,21 +125,79 @@ class EventQueue
         return a.seq < b.seq;
     }
 
+    void heapPush(Entry e);
+
     /** Move the minimum entry out of the heap and restore heap order. */
     Entry popTop();
 
+    void runUntilHeap(SimTime until);
+
+    // --- calendar backend -----------------------------------------------
+
+    /**
+     * Sort/relocation key of one pending event; the callback stays put
+     * in `slots_[slot]` while keys move between buckets and the day
+     * run list.
+     */
+    struct Key
+    {
+        SimTime at = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t slot = 0;
+    };
+
+    static bool
+    keyEarlier(const Key &a, const Key &b)
+    {
+        if (a.at != b.at)
+            return a.at < b.at;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t storeSlot(Callback &&fn);
+    void calendarInsert(Key k);
+    void scheduleCalendar(SimTime at, Callback &&fn);
+    void runUntilCalendar(SimTime until);
+
+    /**
+     * Make the day run list non-empty, pulling the next occupied
+     * bucket (rebuilding the epoch from the overflow ladder when the
+     * buckets are spent). Never pulls past `until`: returns false when
+     * no pending event is at or before it.
+     */
+    bool pullNextDay(SimTime until);
+
+    /**
+     * Drain every day-list event sharing the front timestamp (the
+     * caller has already checked it against the run bound), advancing
+     * the clock once for the whole band.
+     */
+    void runBatch();
+
+    /**
+     * Re-bucket everything at or beyond the frontier around a new
+     * epoch starting at `startAt`, recalibrating the bucket width from
+     * the observed inter-event gap and the bucket count from the
+     * pending population. Day-list entries (already below the
+     * frontier) are untouched.
+     */
+    void rebuildEpoch(SimTime startAt);
+
 #if URSA_CHECK_LEVEL >= 1
-    /** Audit the popped entry against the last-dispatched (time, seq). */
-    void auditPopOrder(const Entry &e);
+    /** Per-batch order audit: batches strictly increase in time. */
+    void auditBatchStart(SimTime at);
 #endif
 #if URSA_CHECK_LEVEL >= 2
-    /** Full heap-property scan, sampled every kAuditStride ops. */
-    void auditHeap();
+    /** Full backend-structure scan, sampled every kAuditStride ops. */
+    void auditStructure();
+    void maybeAuditStructure();
 #endif
 
+    Backend backend_;
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t processed_ = 0;
+
 #if URSA_CHECK_LEVEL >= 1
     /// (time, seq) of the last dispatched event, for the level-1
     /// strict-total-order audit (FIFO tie-break included).
@@ -111,8 +208,38 @@ class EventQueue
     static constexpr std::uint64_t kAuditStride = 1024;
     std::uint64_t auditCountdown_ = 0;
 #endif
+
     /// Binary min-heap ordered by `earlier`; heap_[0] is the minimum.
     std::vector<Entry> heap_;
+
+    /// Callback slab: bodies stay in their slot from schedule to
+    /// dispatch; `freeSlots_` recycles vacated slots LIFO.
+    std::vector<Callback> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+
+    /// Current epoch: bucket b spans
+    /// [epochStart_ + b * width, epochStart_ + (b + 1) * width).
+    std::vector<std::vector<Key>> buckets_;
+    int widthShift_ = 8;          ///< bucket width = 1 << widthShift_ us
+    SimTime epochStart_ = 0;
+    SimTime epochEnd_ = 0;        ///< first time beyond the last bucket
+    SimTime frontier_ = 0;        ///< lower edge of first undrained bucket
+    std::size_t cursor_ = 0;      ///< next bucket to drain
+    /// Events at or beyond epochEnd_ wait here until an epoch rebuild.
+    std::vector<Key> overflow_;
+    SimTime minOverflow_ = 0;     ///< valid while overflow_ is non-empty
+    /// Sorted (time, seq) run list of the bucket being drained; events
+    /// below the frontier insert here directly.
+    std::vector<Key> day_;
+    std::size_t dayPos_ = 0;
+    std::size_t count_ = 0;       ///< total pending (day+buckets+overflow)
+    bool resizePending_ = false;  ///< occupancy blew past the bucket grid
+
+    /// Width calibration: sum/count of positive gaps between distinct
+    /// consecutive dispatch times since the last rebuild.
+    SimTime gapSum_ = 0;
+    std::uint64_t gapCount_ = 0;
+    SimTime lastDispatchAt_ = -1;
 };
 
 } // namespace ursa::sim

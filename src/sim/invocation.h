@@ -22,7 +22,7 @@ namespace ursa::sim
 class Replica;
 
 /** One service's handling of one request. */
-struct Invocation : std::enable_shared_from_this<Invocation>
+struct Invocation
 {
     RequestPtr req;
     ServiceId serviceId = -1;

@@ -231,12 +231,9 @@ Replica::finish(const InvocationPtr &inv)
 
     // Per-tier response time (paper Sec. III): service latency
     // excluding downstream waits. Event-driven tiers were recorded at
-    // the daemon send instead.
-    bool hasEventCall = false;
-    for (const CallSpec &c : inv->behavior->calls)
-        if (c.kind == CallKind::EventRpc)
-            hasEventCall = true;
-    if (!hasEventCall) {
+    // the daemon send instead (hasEventCall is derived once from the
+    // behavior's calls, not rescanned per finish).
+    if (!inv->behavior->hasEventCall) {
         cluster.metrics().recordTierLatency(inv->serviceId,
                                             inv->req->classId, now,
                                             now - inv->arrival -
@@ -357,7 +354,8 @@ bool
 Replica::drained() const
 {
     return draining_ && busyWorkers_ == 0 && busyDaemons_ == 0 &&
-           pending_.empty() && daemonPending_.empty() && jobs_.empty();
+           pending_.empty() && daemonPending_.empty() &&
+           jobRemaining_.empty();
 }
 
 // --- processor-sharing CPU engine -----------------------------------
@@ -366,7 +364,17 @@ void
 Replica::cpuSubmit(double workCoreUs, InlineCallback done)
 {
     cpuSync();
-    jobs_.push_back({std::max(workCoreUs, kWorkEps), std::move(done)});
+    jobRemaining_.push_back(std::max(workCoreUs, kWorkEps));
+    std::uint32_t slot;
+    if (!jobFree_.empty()) {
+        slot = jobFree_.back();
+        jobFree_.pop_back();
+        jobSlab_[slot] = std::move(done);
+    } else {
+        slot = static_cast<std::uint32_t>(jobSlab_.size());
+        jobSlab_.push_back(std::move(done));
+    }
+    jobSlot_.push_back(slot);
     cpuReschedule();
 }
 
@@ -376,13 +384,13 @@ Replica::cpuSync()
     const SimTime now = svc_.cluster().events().now();
     const SimTime dt = now - lastSync_;
     lastSync_ = now;
-    if (dt <= 0 || jobs_.empty())
+    if (dt <= 0 || jobRemaining_.empty())
         return;
-    const double n = static_cast<double>(jobs_.size());
+    const double n = static_cast<double>(jobRemaining_.size());
     const double rate = std::min(1.0, effectiveLimit() / n);
     const double progress = rate * static_cast<double>(dt);
-    for (CpuJob &j : jobs_)
-        j.remaining = std::max(0.0, j.remaining - progress);
+    for (double &remaining : jobRemaining_)
+        remaining = std::max(0.0, remaining - progress);
     busyIntegral_ +=
         std::min(n, effectiveLimit()) * static_cast<double>(dt);
 }
@@ -391,13 +399,13 @@ void
 Replica::cpuReschedule()
 {
     ++cpuGen_;
-    if (jobs_.empty())
+    if (jobRemaining_.empty())
         return;
-    const double n = static_cast<double>(jobs_.size());
+    const double n = static_cast<double>(jobRemaining_.size());
     const double rate = std::min(1.0, effectiveLimit() / n);
-    double minRemaining = jobs_.front().remaining;
-    for (const CpuJob &j : jobs_)
-        minRemaining = std::min(minRemaining, j.remaining);
+    double minRemaining = jobRemaining_.front();
+    for (const double remaining : jobRemaining_)
+        minRemaining = std::min(minRemaining, remaining);
     const double delay = minRemaining / rate;
     const SimTime when = std::max<SimTime>(
         static_cast<SimTime>(std::ceil(delay)), minRemaining > kWorkEps ? 1 : 0);
@@ -413,18 +421,30 @@ Replica::onCpuEvent(std::uint64_t gen)
         return; // superseded by a newer schedule
     cpuSync();
     // Collect finished jobs first: their callbacks may submit new work.
-    std::vector<InlineCallback> finished;
-    for (auto it = jobs_.begin(); it != jobs_.end();) {
-        if (it->remaining <= kWorkEps) {
-            finished.push_back(std::move(it->done));
-            it = jobs_.erase(it);
-        } else {
-            ++it;
+    // Stable in-place compaction keeps the surviving jobs in submission
+    // order (completion order is deterministic state).
+    std::vector<std::uint32_t> finished = std::move(finishedScratch_);
+    finished.clear();
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < jobRemaining_.size(); ++r) {
+        if (jobRemaining_[r] <= kWorkEps) {
+            finished.push_back(jobSlot_[r]);
+            continue;
         }
+        jobRemaining_[w] = jobRemaining_[r];
+        jobSlot_[w] = jobSlot_[r];
+        ++w;
     }
+    jobRemaining_.resize(w);
+    jobSlot_.resize(w);
     cpuReschedule();
-    for (auto &fn : finished)
+    for (const std::uint32_t slot : finished) {
+        InlineCallback fn = std::move(jobSlab_[slot]);
+        jobFree_.push_back(slot);
         fn();
+    }
+    finished.clear();
+    finishedScratch_ = std::move(finished);
     if (draining_ && drained())
         svc_.notifyDrained(*this);
 }

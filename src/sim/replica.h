@@ -135,12 +135,18 @@ class Replica
     std::deque<InlineCallback> daemonPending_;
     bool draining_ = false;
 
-    struct CpuJob
-    {
-        double remaining; ///< core-us of work left
-        InlineCallback done;
-    };
-    std::vector<CpuJob> jobs_;
+    /// Processor-sharing job state, struct-of-arrays: cpuSync and
+    /// cpuReschedule sweep only the dense remaining-work array on every
+    /// CPU event, and completion callbacks sit in a stable slot slab so
+    /// onCpuEvent's compaction shifts 12-byte job records instead of
+    /// relocating 64-byte callbacks.
+    std::vector<double> jobRemaining_;
+    std::vector<std::uint32_t> jobSlot_;
+    std::vector<InlineCallback> jobSlab_;
+    std::vector<std::uint32_t> jobFree_;
+    /// Reused buffer for slots collected by onCpuEvent (no per-event
+    /// allocation).
+    std::vector<std::uint32_t> finishedScratch_;
     SimTime lastSync_ = 0;
     double busyIntegral_ = 0.0;
     std::uint64_t cpuGen_ = 0;

@@ -13,6 +13,13 @@ Service::Service(Cluster &cluster, ServiceConfig cfg, ServiceId id)
 {
     if (cfg_.initialReplicas < 1)
         throw std::invalid_argument("a service needs >= 1 replica");
+    for (auto &[cls, behavior] : cfg_.behaviors) {
+        (void)cls;
+        behavior.hasEventCall = false;
+        for (const CallSpec &call : behavior.calls)
+            if (call.kind == CallKind::EventRpc)
+                behavior.hasEventCall = true;
+    }
     for (int i = 0; i < cfg_.initialReplicas; ++i)
         replicas_.push_back(std::make_unique<Replica>(*this, i));
     cluster_.metrics().recordAllocation(id_, cluster_.events().now(),
@@ -25,8 +32,11 @@ Replica &
 Service::pickReplica()
 {
     // Round-robin over active replicas, preferring one with a free
-    // worker so queueing only starts once the service saturates.
-    std::vector<Replica *> active;
+    // worker so queueing only starts once the service saturates. The
+    // active list is rebuilt into a reused scratch buffer so the per-
+    // dispatch hot path stays allocation-free.
+    std::vector<Replica *> &active = pickScratch_;
+    active.clear();
     for (auto &r : replicas_)
         if (!r->draining())
             active.push_back(r.get());

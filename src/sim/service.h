@@ -102,6 +102,9 @@ class Service
     std::map<int, std::deque<InvocationPtr>> mq_;
     std::size_t rr_ = 0;
     double retiredBusyCoreUs_ = 0.0;
+    /// Reused active-replica buffer for pickReplica (no per-dispatch
+    /// allocation).
+    std::vector<Replica *> pickScratch_;
 };
 
 } // namespace ursa::sim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * First step of intra-simulation parallelism: shard the DES by service
+ * groups and co-advance the shards on ursa::exec.
+ *
+ * `computeShardPlan` analyses a finalized Cluster's call graph and
+ * partitions services into *shard groups* — connected components of the
+ * undirected "calls or is called by" relation, with every request class
+ * assigned to its root service's group. Two groups never exchange
+ * invocations, so their event streams are causally independent and can
+ * execute in parallel with no synchronization at all.
+ *
+ * The conservative-lookahead model: a shard may safely advance to
+ * `t + lookahead`, where lookahead is the minimum latency of any
+ * cross-shard channel, because no message sent after `t` can arrive
+ * before `t + lookahead`. In the current simulator every call is
+ * delivered with zero latency (an RPC's events interleave at the same
+ * timestamps as its caller's), so connected services have lookahead 0
+ * and must share a shard; only disconnected groups — lookahead
+ * infinity, reported as `ShardPlan::kNoLink` — are parallelizable.
+ * Cross-shard channels with nonzero minimum latency (and with them
+ * sub-infinite lookahead windows) are future work; `ShardedSim`'s
+ * windowed co-advance is already shaped for them.
+ *
+ * `ShardedSim` co-advances one Cluster per shard in fixed time windows
+ * via `exec::parallelFor`, using the PR-1 fixed-shard trick: the
+ * parallel index *is* the shard, each shard owns all of its mutable
+ * state (its Cluster, clients, RNGs), so results are bit-identical for
+ * any URSA_THREADS setting — thread scheduling only decides who runs a
+ * shard, never what it computes.
+ */
+
+#ifndef URSA_SIM_SHARD_H
+#define URSA_SIM_SHARD_H
+
+#include "sim/time.h"
+#include "sim/types.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ursa::sim
+{
+
+class Cluster;
+
+/** Partition of a cluster's services/classes into independent shards. */
+struct ShardPlan
+{
+    /** Lookahead value meaning "no cross-shard channel exists". */
+    static constexpr SimTime kNoLink = std::numeric_limits<SimTime>::max();
+
+    /** Number of shard groups (connected components). */
+    int shards = 0;
+
+    /** Shard group of each service, indexed by ServiceId. */
+    std::vector<int> serviceGroup;
+
+    /** Shard group of each class (its root service's group). */
+    std::vector<int> classGroup;
+
+    /**
+     * Minimum latency of any channel between distinct groups. All
+     * in-simulator calls are currently zero-latency, so connected
+     * services always land in one group and this is kNoLink.
+     */
+    SimTime lookaheadUs = kNoLink;
+};
+
+/**
+ * Partition `cluster`'s services into connected components of the call
+ * graph (all classes' behaviors considered). The cluster must be
+ * finalized. Group ids are dense, in order of lowest member ServiceId.
+ */
+ShardPlan computeShardPlan(const Cluster &cluster);
+
+/**
+ * Windowed co-advance of independent shard Clusters on ursa::exec.
+ * Non-owning: callers keep the Clusters (and their clients) alive for
+ * the ShardedSim's lifetime. Each added Cluster must be causally
+ * independent of the others — which separate Cluster objects are by
+ * construction (they share no event queue, services or RNG).
+ */
+class ShardedSim
+{
+  public:
+    /** Default co-advance window: one simulated second. */
+    static constexpr SimTime kDefaultWindowUs = kSec;
+
+    /**
+     * @param windowUs Co-advance window; every shard reaches the end
+     *        of a window before any shard enters the next. Must be
+     *        > 0. With zero-latency-only channels any window is safe;
+     *        once cross-shard links exist the window must not exceed
+     *        the plan's lookahead.
+     */
+    explicit ShardedSim(SimTime windowUs = kDefaultWindowUs);
+
+    /** Register one shard. All shards must be added before run(). */
+    void addShard(Cluster &cluster);
+
+    std::size_t shards() const { return shards_.size(); }
+
+    /** Common simulated time every shard has reached. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Advance every shard to `until`, window by window, shards in
+     * parallel within a window. Bit-identical for any URSA_THREADS.
+     */
+    void run(SimTime until);
+
+    /** Total events executed across all shards. */
+    std::uint64_t eventsProcessed() const;
+
+    /** Aggregate requests injected across all shards. */
+    std::uint64_t submitted() const;
+
+    /** Aggregate requests fully completed across all shards. */
+    std::uint64_t completed() const;
+
+  private:
+    std::vector<Cluster *> shards_;
+    SimTime window_;
+    SimTime now_ = 0;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_SHARD_H

@@ -66,6 +66,13 @@ struct ClassBehavior
     bool parallelCalls = false;
     double postComputeMeanUs = 0.0;
     double postComputeCv = 0.3;
+    /**
+     * Derived, set by Service from `calls` — do not set by hand. True
+     * when any call is event-driven: the tier latency is then recorded
+     * at the daemon send instead of at finish (paper Fig. 1b), and the
+     * dispatch hot path branches on this instead of rescanning `calls`.
+     */
+    bool hasEventCall = false;
 };
 
 /** Static configuration of one microservice. */

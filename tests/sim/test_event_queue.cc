@@ -169,4 +169,176 @@ TEST(EventQueue, PopReleasesCallbackState)
     EXPECT_EQ(token.use_count(), 1);
 }
 
+// --- calendar-vs-heap differential and calendar stress ------------------
+
+TEST(EventQueue, ExplicitBackendSelection)
+{
+    EventQueue cal(EventQueue::Backend::Calendar);
+    EventQueue heap(EventQueue::Backend::Heap);
+    EXPECT_EQ(cal.backend(), EventQueue::Backend::Calendar);
+    EXPECT_EQ(heap.backend(), EventQueue::Backend::Heap);
+}
+
+TEST(EventQueue, NextEventTimeBothBackends)
+{
+    for (const auto backend : {EventQueue::Backend::Calendar,
+                               EventQueue::Backend::Heap}) {
+        EventQueue q(backend);
+        const SimTime empty = q.nextEventTime();
+        q.schedule(500, [] {});
+        q.schedule(40, [] {});
+        EXPECT_EQ(q.nextEventTime(), 40);
+        q.runNext();
+        EXPECT_EQ(q.nextEventTime(), 500);
+        q.runNext();
+        EXPECT_EQ(q.nextEventTime(), empty);
+        EXPECT_GT(empty, 500); // the sentinel orders after any event
+    }
+}
+
+/**
+ * Drive one backend through a deterministic pseudo-random op script
+ * (bursty schedules, runNext/runUntil mixes, callback-side schedules
+ * spanning bucket, epoch and overflow horizons) and record the exact
+ * dispatch sequence by event id.
+ */
+std::vector<int>
+runScript(EventQueue::Backend backend, int rounds)
+{
+    EventQueue q(backend);
+    std::vector<int> fired;
+    int nextId = 0;
+    unsigned long long x = 9876543210123ULL;
+    auto rnd = [&](unsigned long long mod) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        return (x >> 33) % mod;
+    };
+
+    for (int round = 0; round < rounds; ++round) {
+        // A burst of schedules at wildly mixed horizons: same-time
+        // collisions (FIFO ties), near-future (current bucket), far
+        // future (overflow ladder of the calendar backend).
+        const int burst = 1 + static_cast<int>(rnd(24));
+        for (int k = 0; k < burst; ++k) {
+            SimTime at = q.now();
+            switch (rnd(4)) {
+            case 0: at += static_cast<SimTime>(rnd(4)); break;
+            case 1: at += static_cast<SimTime>(rnd(300)); break;
+            case 2: at += static_cast<SimTime>(rnd(20000)); break;
+            default: at += static_cast<SimTime>(rnd(3000000)); break;
+            }
+            const int id = nextId++;
+            if (rnd(8) == 0) {
+                // Callback-side reschedule: a same-time child (extends
+                // the dispatch batch) plus a far child.
+                const int child1 = nextId++;
+                const int child2 = nextId++;
+                q.schedule(at, [&q, &fired, id, child1, child2] {
+                    fired.push_back(id);
+                    q.scheduleIn(0, [&fired, child1] {
+                        fired.push_back(child1);
+                    });
+                    q.scheduleIn(70000, [&fired, child2] {
+                        fired.push_back(child2);
+                    });
+                });
+            } else {
+                q.schedule(at, [&fired, id] { fired.push_back(id); });
+            }
+        }
+        // Mixed draining: single pops and bounded runs.
+        switch (rnd(3)) {
+        case 0:
+            q.runNext();
+            q.runNext();
+            break;
+        case 1:
+            q.runUntil(q.now() + static_cast<SimTime>(rnd(5000)));
+            break;
+        default:
+            break; // let the backlog build
+        }
+    }
+    q.runUntil(q.now() + 10000000);
+    EXPECT_EQ(q.pending(), 0u);
+    return fired;
+}
+
+// The tentpole determinism contract: the calendar queue dispatches the
+// exact (time, seq) sequence of the binary-heap oracle under a
+// randomized workload that exercises day-list inserts, bucket pulls,
+// epoch rebuilds and the overflow ladder.
+TEST(EventQueue, RandomizedDifferentialCalendarVsHeap)
+{
+    const std::vector<int> calendar =
+        runScript(EventQueue::Backend::Calendar, 400);
+    const std::vector<int> heap = runScript(EventQueue::Backend::Heap, 400);
+    ASSERT_GT(calendar.size(), 1000u);
+    EXPECT_EQ(calendar, heap);
+}
+
+// FIFO ties must hold when the tied events were scheduled from
+// different calendar locations: some straight into the day list (below
+// the frontier is impossible for the future, so use bucket + overflow
+// splits instead) — schedule the same timestamp before and after epoch
+// rebuilds so the tied batch is assembled from bucket pulls and
+// overflow redistribution rather than one contiguous append.
+TEST(EventQueue, FifoTieBreakAcrossBucketBoundaries)
+{
+    for (const auto backend : {EventQueue::Backend::Calendar,
+                               EventQueue::Backend::Heap}) {
+        EventQueue q(backend);
+        std::vector<int> fired;
+        const SimTime tied = 5000000; // far beyond the initial epoch
+        q.schedule(tied, [&] { fired.push_back(0); });
+        // Force queue activity (and epoch rebuilds on the calendar
+        // backend) between the tied schedules.
+        for (int i = 0; i < 64; ++i)
+            q.schedule(i * 1000, [] {});
+        q.schedule(tied, [&] { fired.push_back(1); });
+        q.runUntil(1500000); // drain filler only; clock far below tie
+        q.schedule(tied, [&] { fired.push_back(2); });
+        q.schedule(tied + 1, [&] { fired.push_back(3); });
+        q.schedule(tied - 1, [&] { fired.push_back(4); });
+        q.runUntil(tied + 10);
+        EXPECT_EQ(fired, (std::vector<int>{4, 0, 1, 2, 3})) <<
+            "backend " << static_cast<int>(backend);
+    }
+}
+
+// Burst arrivals blow the pending population past the bucket grid; the
+// calendar backend must re-bucket (resizePending_ path) without
+// reordering or dropping anything.
+TEST(EventQueue, BucketResizeUnderBurst)
+{
+    EventQueue q(EventQueue::Backend::Calendar);
+    std::uint64_t sum = 0, expect = 0;
+    SimTime last = -1;
+    bool ordered = true;
+    unsigned long long x = 424242;
+    auto rnd = [&](unsigned long long mod) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        return (x >> 33) % mod;
+    };
+    // Warm the width calibration with sparse traffic first so the
+    // burst really overflows the calibrated grid.
+    for (int i = 1; i <= 32; ++i)
+        q.schedule(i * 4096, [&] { sum += 0; });
+    q.runUntil(32 * 4096);
+    for (int i = 0; i < 200000; ++i) {
+        const SimTime at = q.now() + 1 + static_cast<SimTime>(rnd(2048));
+        expect += static_cast<std::uint64_t>(at);
+        q.schedule(at, [&, at] {
+            sum += static_cast<std::uint64_t>(at);
+            if (q.now() < last)
+                ordered = false;
+            last = q.now();
+        });
+    }
+    q.runUntil(q.now() + 1000000);
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(sum, expect);
+    EXPECT_TRUE(ordered);
+}
+
 } // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Shard-plan and sharded-execution tests: connected-component
+ * partitioning of the call graph, windowed co-advance equivalence to a
+ * plain serial run, and bit-identical results for URSA_THREADS 1 vs 8
+ * (the fixed-shard determinism contract).
+ */
+
+#include "exec/thread_pool.h"
+#include "sim/client.h"
+#include "sim/cluster.h"
+#include "sim/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using namespace ursa::sim;
+
+/** Add a two-tier RPC chain `<name>_front -> <name>_back` plus a class
+ * rooted at the front tier; returns the class id. */
+ClassId
+addChainGroup(Cluster &c, const std::string &name)
+{
+    ServiceConfig front;
+    front.name = name + "_front";
+    front.threads = 8;
+    front.cpuPerReplica = 4.0;
+    ClassBehavior fb;
+    fb.computeMeanUs = 200.0;
+    fb.computeCv = 0.2;
+    fb.calls.push_back({name + "_back", CallKind::NestedRpc});
+
+    ServiceConfig back;
+    back.name = name + "_back";
+    back.threads = 8;
+    back.cpuPerReplica = 4.0;
+    ClassBehavior bb;
+    bb.computeMeanUs = 300.0;
+    bb.computeCv = 0.2;
+
+    RequestClassSpec spec;
+    spec.name = name;
+    spec.rootService = name + "_front";
+    spec.sla = {99.0, fromMs(1000.0)};
+    const ClassId cls = c.addClass(spec);
+    front.behaviors[cls] = fb;
+    back.behaviors[cls] = bb;
+    c.addService(front);
+    c.addService(back);
+    return cls;
+}
+
+/** One self-contained shard: a two-tier chain cluster plus client. */
+struct ShardFixture
+{
+    std::unique_ptr<Cluster> cluster;
+    std::unique_ptr<OpenLoopClient> client;
+
+    explicit ShardFixture(std::uint64_t seed)
+    {
+        cluster = std::make_unique<Cluster>(seed);
+        const ClassId cls = addChainGroup(*cluster, "grp");
+        cluster->finalize();
+        client = std::make_unique<OpenLoopClient>(
+            *cluster, [](SimTime) { return 400.0; },
+            [cls](ursa::stats::Rng &, SimTime) { return cls; }, seed + 5);
+        client->start(0);
+    }
+};
+
+TEST(ShardPlan, DisconnectedGroupsGetDistinctShards)
+{
+    Cluster c(1);
+    const ClassId a = addChainGroup(c, "alpha");
+    const ClassId b = addChainGroup(c, "beta");
+    c.finalize();
+
+    const ShardPlan plan = computeShardPlan(c);
+    EXPECT_EQ(plan.shards, 2);
+    ASSERT_EQ(plan.serviceGroup.size(), 4u);
+    // Group ids are dense in order of lowest member ServiceId.
+    EXPECT_EQ(plan.serviceGroup[c.serviceId("alpha_front")], 0);
+    EXPECT_EQ(plan.serviceGroup[c.serviceId("alpha_back")], 0);
+    EXPECT_EQ(plan.serviceGroup[c.serviceId("beta_front")], 1);
+    EXPECT_EQ(plan.serviceGroup[c.serviceId("beta_back")], 1);
+    EXPECT_EQ(plan.classGroup[a], 0);
+    EXPECT_EQ(plan.classGroup[b], 1);
+    // No cross-shard channel exists in the current zero-latency model.
+    EXPECT_EQ(plan.lookaheadUs, ShardPlan::kNoLink);
+}
+
+TEST(ShardPlan, CallGraphEdgesMergeGroups)
+{
+    Cluster c(1);
+    addChainGroup(c, "alpha");
+    addChainGroup(c, "beta");
+    // Bridge the two chains: alpha_back fires an async MQ publish into
+    // beta_front, so all four services collapse into one component.
+    ServiceConfig bridge;
+    bridge.name = "bridge";
+    ClassBehavior bb;
+    bb.computeMeanUs = 50.0;
+    bb.calls.push_back({"alpha_back", CallKind::NestedRpc});
+    bb.calls.push_back({"beta_front", CallKind::NestedRpc});
+    RequestClassSpec spec;
+    spec.name = "bridged";
+    spec.rootService = "bridge";
+    spec.sla = {99.0, fromMs(1000.0)};
+    const ClassId cls = c.addClass(spec);
+    bridge.behaviors[cls] = bb;
+    c.addService(bridge);
+    c.finalize();
+
+    const ShardPlan plan = computeShardPlan(c);
+    EXPECT_EQ(plan.shards, 1);
+    for (int g : plan.serviceGroup)
+        EXPECT_EQ(g, 0);
+    for (int g : plan.classGroup)
+        EXPECT_EQ(g, 0);
+}
+
+TEST(ShardedSim, WindowedCoAdvanceMatchesPlainRun)
+{
+    // The same shard config run (a) standalone in one go and (b) under
+    // the windowed co-advance must produce identical event streams.
+    ShardFixture plain(7);
+    plain.cluster->run(10 * kSec);
+
+    ShardFixture sharded(7);
+    ShardedSim sim(kSec / 4); // force many window barriers
+    sim.addShard(*sharded.cluster);
+    sim.run(10 * kSec);
+
+    EXPECT_EQ(sim.now(), 10 * kSec);
+    EXPECT_EQ(sharded.cluster->events().processed(),
+              plain.cluster->events().processed());
+    EXPECT_EQ(sharded.cluster->submitted(), plain.cluster->submitted());
+    EXPECT_EQ(sharded.cluster->completed(), plain.cluster->completed());
+}
+
+TEST(ShardedSim, BitIdenticalAcrossThreadCounts)
+{
+    constexpr int kShards = 4;
+    constexpr SimTime kSpan = 10 * kSec;
+
+    auto runAll = [&](int threads) {
+        ursa::exec::setThreadCount(threads);
+        std::vector<std::unique_ptr<ShardFixture>> fixtures;
+        for (int k = 0; k < kShards; ++k)
+            fixtures.push_back(
+                std::make_unique<ShardFixture>(1000003ULL * k + 11));
+        ShardedSim sim;
+        for (auto &f : fixtures)
+            sim.addShard(*f->cluster);
+        sim.run(kSpan);
+
+        // Digest per shard: event/request counts plus a latency
+        // percentile, all bit-exact under the determinism contract.
+        std::vector<std::uint64_t> counts;
+        std::vector<double> latencies;
+        for (auto &f : fixtures) {
+            counts.push_back(f->cluster->events().processed());
+            counts.push_back(f->cluster->submitted());
+            counts.push_back(f->cluster->completed());
+            const auto agg =
+                f->cluster->metrics().endToEnd(0).collect(0, kSpan);
+            latencies.push_back(agg.percentile(99));
+        }
+        return std::make_pair(counts, latencies);
+    };
+
+    const auto serial = runAll(1);
+    const auto parallel = runAll(8);
+    ursa::exec::setThreadCount(1);
+    EXPECT_EQ(serial.first, parallel.first);
+    EXPECT_EQ(serial.second, parallel.second);
+    ASSERT_GE(serial.first[0], 100u); // the shards actually simulated
+}
+
+TEST(ShardedSim, AggregatesSumOverShards)
+{
+    ShardFixture a(21), b(22);
+    ShardedSim sim;
+    sim.addShard(*a.cluster);
+    sim.addShard(*b.cluster);
+    sim.run(2 * kSec);
+
+    EXPECT_EQ(sim.shards(), 2u);
+    EXPECT_EQ(sim.eventsProcessed(), a.cluster->events().processed() +
+                                         b.cluster->events().processed());
+    EXPECT_EQ(sim.submitted(),
+              a.cluster->submitted() + b.cluster->submitted());
+    EXPECT_EQ(sim.completed(),
+              a.cluster->completed() + b.cluster->completed());
+}
+
+TEST(ShardedSim, RejectsNonPositiveWindow)
+{
+    EXPECT_THROW(ShardedSim(0), std::invalid_argument);
+    EXPECT_THROW(ShardedSim(-5), std::invalid_argument);
+}
+
+} // namespace

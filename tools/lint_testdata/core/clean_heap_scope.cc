@@ -1,0 +1,5 @@
+// Clean: banned-heap is scoped to src/sim — the control plane may use
+// std heap primitives (e.g. top-k candidate selection in the explorer).
+#include <queue>
+
+std::priority_queue<double> topCandidates;

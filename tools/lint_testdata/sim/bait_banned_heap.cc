@@ -1,0 +1,20 @@
+// Bait: ad-hoc priority ordering inside the sim kernel. All event
+// ordering must go through EventQueue's strict (time, seq) total order.
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+std::priority_queue<int> backlog;         // ursa-lint-test: expect(banned-heap)
+
+void
+reorder(std::vector<long> &v)
+{
+    std::make_heap(v.begin(), v.end());   // ursa-lint-test: expect(banned-heap)
+    std::push_heap(v.begin(), v.end());   // ursa-lint-test: expect(banned-heap)
+    std::pop_heap(v.begin(), v.end());    // ursa-lint-test: expect(banned-heap)
+}
+
+// The differential-oracle escape hatch: an explicit suppression keeps
+// the one sanctioned comparison baseline compilable.
+// ursa-lint: allow(banned-heap)
+std::priority_queue<long> oracle;         // ursa-lint-test: suppressed(banned-heap)

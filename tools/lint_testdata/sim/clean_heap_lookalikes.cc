@@ -1,0 +1,18 @@
+// Clean: heap lookalikes that must not fire banned-heap — member
+// fields named after heaps, prose in comments and strings, and the
+// EventQueue API itself.
+#include <cstddef>
+#include <vector>
+
+// std::priority_queue mentioned in a comment is fine.
+const char *kHeapDoc = "call std::make_heap at will — this is prose";
+
+struct MiniQueue
+{
+    // A hand-rolled heap under EventQueue's (time, seq) order is the
+    // sanctioned implementation; only std heap primitives are banned.
+    std::vector<int> heap_;
+    std::size_t priority_queue_depth = 0; // lookalike identifier
+
+    void heapPush(int v) { heap_.push_back(v); }
+};

@@ -47,6 +47,12 @@ const std::set<std::string> kUnorderedIdents = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
 
+/// Heap primitives banned in src/sim: ad-hoc priority ordering competes
+/// with EventQueue's strict (time, seq) total order.
+const std::set<std::string> kHeapIdents = {"priority_queue", "make_heap",
+                                           "push_heap", "pop_heap",
+                                           "sort_heap"};
+
 const std::set<std::string> kSchedulerIdents = {
     "schedule", "scheduleIn", "submit", "invoke", "publish", "publishTo"};
 
@@ -93,6 +99,10 @@ const std::vector<RuleInfo> kRules = {
      "over std::mutex, reference every Mutex member in a URSA_* "
      "annotation, and give each std::atomic an `atomic:` rationale "
      "comment"},
+    {"banned-heap",
+     "std::priority_queue / heap algorithms in src/sim; all event "
+     "ordering must go through EventQueue's strict (time, seq) total "
+     "order"},
 };
 
 // --- context -------------------------------------------------------------
@@ -549,6 +559,17 @@ ruleMissingAnnotation(Ctx &ctx)
     }
 }
 
+void
+ruleBannedHeap(Ctx &ctx)
+{
+    if (ctx.scope != "sim")
+        return;
+    const auto &t = ctx.toks();
+    for (std::size_t i = 0; i < t.size(); ++i)
+        if (ctx.qualifiedIn(i, "std", kHeapIdents))
+            ctx.report(t[i].line, "banned-heap", kRules[10].summary);
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -595,6 +616,7 @@ lintFile(const std::string &relPath, const std::string &source)
     ruleIncludeOrder(ctx);
     ruleBannedInclude(ctx);
     ruleMissingAnnotation(ctx);
+    ruleBannedHeap(ctx);
 
     std::sort(ctx.out.begin(), ctx.out.end(),
               [](const Violation &a, const Violation &b) {
