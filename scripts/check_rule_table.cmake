@@ -1,0 +1,40 @@
+# Docs/catalogue sync: the rule table in DESIGN.md is generated from
+# `ursa-lint --list-rules --format=markdown` and lives between
+# `<!-- rule-table:begin -->` / `<!-- rule-table:end -->` markers.
+# This script regenerates the table and fails if the committed docs
+# drifted from the binary's catalogue.
+#
+# Usage: cmake -DLINT_BIN=<ursa-lint> -DDOC=<DESIGN.md> -P this_file
+if(NOT LINT_BIN OR NOT DOC)
+  message(FATAL_ERROR "pass -DLINT_BIN=<ursa-lint> -DDOC=<DESIGN.md>")
+endif()
+
+execute_process(
+  COMMAND ${LINT_BIN} --list-rules --format=markdown
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE table)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ursa-lint --list-rules failed (${rc})")
+endif()
+
+file(READ ${DOC} doc)
+string(FIND "${doc}" "<!-- rule-table:begin -->" begin)
+string(FIND "${doc}" "<!-- rule-table:end -->" end)
+if(begin EQUAL -1 OR end EQUAL -1)
+  message(FATAL_ERROR "${DOC} is missing the rule-table markers")
+endif()
+
+string(LENGTH "<!-- rule-table:begin -->" marker_len)
+math(EXPR from "${begin} + ${marker_len}")
+math(EXPR len "${end} - ${from}")
+string(SUBSTRING "${doc}" ${from} ${len} committed)
+string(STRIP "${committed}" committed)
+string(STRIP "${table}" table)
+
+if(NOT committed STREQUAL table)
+  message(FATAL_ERROR
+    "the rule table in ${DOC} drifted from `ursa-lint --list-rules "
+    "--format=markdown`; paste the regenerated table between the "
+    "rule-table markers:\n${table}")
+endif()
+message(STATUS "rule table in sync with the binary's catalogue")

@@ -1,5 +1,8 @@
 #include "apps/app.h"
 
+#include "sim/cluster.h"
+#include "sim/types.h"
+
 #include <stdexcept>
 
 namespace ursa::apps

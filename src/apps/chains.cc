@@ -9,6 +9,8 @@
  */
 
 #include "apps/app.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 #include <algorithm>
 

@@ -12,6 +12,8 @@
  */
 
 #include "apps/app.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 namespace ursa::apps
 {

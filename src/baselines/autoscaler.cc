@@ -1,5 +1,10 @@
 #include "baselines/autoscaler.h"
 
+#include "sim/cluster.h"
+#include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>

@@ -11,6 +11,7 @@
 #define URSA_BASELINES_AUTOSCALER_H
 
 #include "sim/cluster.h"
+#include "sim/time.h"
 #include "stats/online.h"
 
 #include <vector>

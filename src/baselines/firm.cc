@@ -1,5 +1,12 @@
 #include "baselines/firm.h"
 
+#include "apps/app.h"
+#include "ml/rl.h"
+#include "sim/cluster.h"
+#include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>

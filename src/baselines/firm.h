@@ -18,6 +18,8 @@
 #include "apps/app.h"
 #include "ml/rl.h"
 #include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
 #include "stats/online.h"
 #include "stats/rng.h"
 

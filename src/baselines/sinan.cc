@@ -1,5 +1,13 @@
 #include "baselines/sinan.h"
 
+#include "apps/app.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "sim/cluster.h"
+#include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>

@@ -24,6 +24,7 @@
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
 #include "sim/cluster.h"
+#include "sim/time.h"
 #include "stats/online.h"
 #include "stats/rng.h"
 

@@ -1,5 +1,9 @@
 #include "core/anomaly.h"
 
+#include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <algorithm>
 
 namespace ursa::core

@@ -18,6 +18,8 @@
 #define URSA_CORE_ANOMALY_H
 
 #include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 #include <vector>
 

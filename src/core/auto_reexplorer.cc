@@ -1,5 +1,10 @@
 #include "core/auto_reexplorer.h"
 
+#include "apps/app.h"
+#include "core/explorer.h"
+#include "core/manager.h"
+#include "sim/types.h"
+
 namespace ursa::core
 {
 

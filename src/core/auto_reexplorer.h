@@ -19,6 +19,9 @@
 #include "apps/app.h"
 #include "core/explorer.h"
 #include "core/manager.h"
+#include "core/profile.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 #include <vector>
 

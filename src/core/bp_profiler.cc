@@ -1,7 +1,10 @@
 #include "core/bp_profiler.h"
 
+#include "apps/app.h"
 #include "check/check.h"
 #include "core/harness.h"
+#include "sim/time.h"
+#include "stats/quantile.h"
 #include "stats/welch.h"
 #include "trace/export.h"
 

@@ -1,8 +1,14 @@
 #include "core/explorer.h"
 
+#include "apps/app.h"
 #include "check/check.h"
+#include "core/bp_profiler.h"
 #include "core/harness.h"
+#include "core/profile.h"
+#include "core/theorem.h"
 #include "exec/thread_pool.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 #include <algorithm>
 #include <cmath>

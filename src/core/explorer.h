@@ -15,6 +15,7 @@
 #include "apps/app.h"
 #include "core/bp_profiler.h"
 #include "core/profile.h"
+#include "core/theorem.h"
 #include "sim/time.h"
 
 #include <cstdint>

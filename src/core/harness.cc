@@ -1,5 +1,11 @@
 #include "core/harness.h"
 
+#include "apps/app.h"
+#include "sim/client.h"
+#include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <numeric>
 #include <stdexcept>
 

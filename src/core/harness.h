@@ -16,6 +16,8 @@
 #include "apps/app.h"
 #include "sim/client.h"
 #include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 #include <memory>
 #include <vector>

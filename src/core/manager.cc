@@ -1,5 +1,16 @@
 #include "core/manager.h"
 
+#include "apps/app.h"
+#include "core/anomaly.h"
+#include "core/estimator.h"
+#include "core/mip_model.h"
+#include "core/profile.h"
+#include "core/resource_controller.h"
+#include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/online.h"
+
 #include <chrono>
 #include <numeric>
 

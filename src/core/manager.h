@@ -16,6 +16,9 @@
 #include "core/profile.h"
 #include "core/resource_controller.h"
 #include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/online.h"
 
 #include <functional>
 #include <memory>

@@ -1,7 +1,10 @@
 #include "core/mip_model.h"
 
 #include "check/check.h"
+#include "core/profile.h"
 #include "core/theorem.h"
+#include "solver/lp.h"
+#include "solver/mip.h"
 
 #include <algorithm>
 #include <cmath>

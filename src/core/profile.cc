@@ -1,5 +1,9 @@
 #include "core/profile.h"
 
+#include "apps/app.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <algorithm>
 #include <functional>
 #include <stdexcept>

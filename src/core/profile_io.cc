@@ -1,5 +1,7 @@
 #include "core/profile_io.h"
 
+#include "core/profile.h"
+
 #include <fstream>
 #include <iomanip>
 #include <sstream>

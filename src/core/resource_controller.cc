@@ -1,5 +1,10 @@
 #include "core/resource_controller.h"
 
+#include "sim/cluster.h"
+#include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/online.h"
 #include "stats/welch.h"
 
 #include <algorithm>

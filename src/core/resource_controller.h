@@ -17,6 +17,7 @@
 #define URSA_CORE_RESOURCE_CONTROLLER_H
 
 #include "sim/cluster.h"
+#include "sim/types.h"
 #include "stats/online.h"
 
 #include <vector>

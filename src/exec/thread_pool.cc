@@ -1,5 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include "base/mutex.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <exception>

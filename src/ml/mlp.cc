@@ -1,6 +1,7 @@
 #include "ml/mlp.h"
 
 #include "check/check.h"
+#include "stats/rng.h"
 
 #include <algorithm>
 #include <cmath>

@@ -9,7 +9,6 @@
 #ifndef URSA_ML_MLP_H
 #define URSA_ML_MLP_H
 
-#include "stats/rng.h"
 
 #include <cstdint>
 #include <vector>

@@ -1,5 +1,7 @@
 #include "ml/rl.h"
 
+#include "ml/mlp.h"
+
 #include <algorithm>
 #include <cassert>
 

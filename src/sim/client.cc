@@ -1,6 +1,10 @@
 #include "sim/client.h"
 
 #include "check/check.h"
+#include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/rng.h"
 
 #include <utility>
 

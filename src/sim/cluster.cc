@@ -1,5 +1,14 @@
 #include "sim/cluster.h"
 
+#include "check/check.h"
+#include "sim/event_queue.h"
+#include "sim/invocation.h"
+#include "sim/pool.h"
+#include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "trace/span.h"
+
 #include <stdexcept>
 
 namespace ursa::sim

@@ -15,12 +15,14 @@
 
 #include "check/check.h"
 #include "sim/event_queue.h"
+#include "sim/invocation.h"
 #include "sim/metrics.h"
 #include "sim/pool.h"
 #include "sim/service.h"
 #include "sim/time.h"
 #include "sim/types.h"
 #include "stats/rng.h"
+#include "trace/span.h"
 #include "trace/tracer.h"
 
 #include <map>

@@ -1,5 +1,8 @@
 #include "sim/event_queue.h"
 
+#include "check/check.h"
+#include "sim/time.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <limits>

@@ -1,6 +1,9 @@
 #include "sim/metrics.h"
 
 #include "check/check.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/timeseries.h"
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,8 +1,13 @@
 #include "sim/replica.h"
 
 #include "check/check.h"
+#include "sim/callback.h"
 #include "sim/cluster.h"
+#include "sim/invocation.h"
 #include "sim/service.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "trace/span.h"
 
 #include <algorithm>
 #include <cmath>

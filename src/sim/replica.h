@@ -24,9 +24,9 @@
 #define URSA_SIM_REPLICA_H
 
 #include "check/check.h"
+#include "sim/callback.h"
 #include "sim/invocation.h"
 #include "sim/time.h"
-#include "sim/types.h"
 
 #include <cstdint>
 #include <deque>

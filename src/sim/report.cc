@@ -1,5 +1,10 @@
 #include "sim/report.h"
 
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+#include "sim/time.h"
+#include "sim/types.h"
+
 #include <iomanip>
 #include <ostream>
 

@@ -10,6 +10,7 @@
 #define URSA_SIM_REPORT_H
 
 #include "sim/cluster.h"
+#include "sim/time.h"
 
 #include <iosfwd>
 #include <string>

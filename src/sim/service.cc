@@ -1,6 +1,8 @@
 #include "sim/service.h"
 
 #include "sim/cluster.h"
+#include "sim/invocation.h"
+#include "sim/types.h"
 
 #include <cassert>
 #include <stdexcept>

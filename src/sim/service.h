@@ -9,9 +9,9 @@
 #ifndef URSA_SIM_SERVICE_H
 #define URSA_SIM_SERVICE_H
 
+#include "check/check.h"
 #include "sim/invocation.h"
 #include "sim/replica.h"
-#include "sim/time.h"
 #include "sim/types.h"
 
 #include <deque>

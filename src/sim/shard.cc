@@ -3,6 +3,8 @@
 #include "check/check.h"
 #include "exec/thread_pool.h"
 #include "sim/cluster.h"
+#include "sim/time.h"
+#include "sim/types.h"
 
 #include <algorithm>
 #include <stdexcept>

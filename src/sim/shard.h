@@ -34,7 +34,6 @@
 #define URSA_SIM_SHARD_H
 
 #include "sim/time.h"
-#include "sim/types.h"
 
 #include <cstdint>
 #include <limits>

@@ -1,5 +1,7 @@
 #include "solver/mip.h"
 
+#include "solver/lp.h"
+
 #include <cmath>
 #include <limits>
 #include <vector>

@@ -1,6 +1,7 @@
 #include "stats/timeseries.h"
 
 #include "check/check.h"
+#include "stats/quantile.h"
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,6 +1,7 @@
 #include "stats/welch.h"
 
 #include "check/check.h"
+#include "stats/online.h"
 
 #include <cmath>
 #include <limits>

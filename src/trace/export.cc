@@ -1,6 +1,7 @@
 #include "trace/export.h"
 
 #include "stats/quantile.h"
+#include "trace/span.h"
 
 #include <algorithm>
 #include <map>

@@ -1,6 +1,7 @@
 #include "trace/tracer.h"
 
 #include "check/check.h"
+#include "trace/span.h"
 
 #include <cmath>
 

@@ -1,6 +1,8 @@
 #include "workload/arrival.h"
 
 #include "check/check.h"
+#include "sim/client.h"
+#include "sim/time.h"
 
 #include <utility>
 

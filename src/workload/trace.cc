@@ -1,6 +1,10 @@
 #include "workload/trace.h"
 
 #include "check/check.h"
+#include "sim/client.h"
+#include "sim/cluster.h"
+#include "sim/time.h"
+#include "stats/rng.h"
 
 namespace ursa::workload
 {

@@ -1,0 +1,9 @@
+// Bait: the suppression contract itself. A reasonless allow()
+// suppresses nothing and flags; an allow() naming an unknown rule
+// flags.
+#include <ctime>
+
+// ursa-lint-test: expect(suppression-reason) ursa-lint: allow(wall-clock)
+long probe = time(nullptr); // ursa-lint-test: expect(wall-clock)
+
+int typo = 0; // ursa-lint: allow(no-such-rule) guards a typo ursa-lint-test: expect(suppression-reason)

@@ -1,0 +1,8 @@
+// Bait: a two-file include cycle inside one layer (no layer-violation,
+// both files are trace/ — but the include graph has an SCC).
+#include "trace/ring_b.h" // ursa-lint-test: expect(layer-cycle)
+
+struct RingA
+{
+    RingB *next = nullptr;
+};

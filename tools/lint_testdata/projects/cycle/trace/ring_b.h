@@ -1,0 +1,7 @@
+// The other half of the ring_a.h cycle.
+#include "trace/ring_a.h" // ursa-lint-test: expect(layer-cycle)
+
+struct RingB
+{
+    RingA *prev = nullptr;
+};

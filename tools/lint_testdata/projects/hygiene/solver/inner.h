@@ -1,0 +1,5 @@
+// Fixture: the transitively-leaked provider.
+struct InnerTable
+{
+    int rows = 0;
+};

@@ -1,0 +1,8 @@
+// Fixture: re-exports inner.h to its includers (who must still
+// include inner.h themselves if they name InnerTable).
+#include "solver/inner.h"
+
+struct OuterPlan
+{
+    InnerTable table;
+};

@@ -1,0 +1,5 @@
+// Fixture: a header nobody actually uses.
+struct UnusedDep
+{
+    int x = 0;
+};

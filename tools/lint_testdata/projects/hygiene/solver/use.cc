@@ -1,0 +1,12 @@
+// Bait x2: an include that contributes nothing, and a symbol reached
+// only through a transitive include.
+#include "solver/outer.h"
+#include "solver/unused_dep.h" // ursa-lint-test: expect(include-hygiene)
+
+OuterPlan
+makePlan()
+{
+    OuterPlan plan;
+    plan.table = InnerTable{3}; // ursa-lint-test: expect(include-hygiene)
+    return plan;
+}

@@ -1,0 +1,7 @@
+// Fixture: the application-topology type that sits at the top of the
+// layer DAG. Anything below apps/ that includes this file reaches
+// upward.
+struct Topology
+{
+    int services = 0;
+};

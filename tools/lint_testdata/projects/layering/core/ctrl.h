@@ -1,0 +1,8 @@
+// Clean: core (level 5) may depend on sim (level 3) — the DAG only
+// forbids upward includes.
+#include "sim/kernel.h"
+
+struct Controller
+{
+    Kernel kernel;
+};

@@ -1,0 +1,7 @@
+// Bait: sim (level 3) reaching up into apps (level 6).
+#include "apps/topology.h" // ursa-lint-test: expect(layer-violation)
+
+struct Kernel
+{
+    Topology topo;
+};

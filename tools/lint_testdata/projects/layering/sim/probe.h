@@ -1,0 +1,7 @@
+// Suppressed: an upward include sanctioned with a reasoned allow().
+#include "core/ctrl.h" // ursa-lint: allow(layer-violation) display-only probe of controller state ursa-lint-test: suppressed(layer-violation)
+
+struct Probe
+{
+    Controller *ctrl = nullptr;
+};

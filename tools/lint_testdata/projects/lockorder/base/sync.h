@@ -1,0 +1,21 @@
+// Fixture stand-ins for base/mutex.h: the lock-order scanner keys on
+// the guard type names, not on the real base:: types.
+struct Mutex
+{
+};
+
+struct MutexLock
+{
+    explicit MutexLock(Mutex *m);
+};
+
+struct CondVar
+{
+    void wait(Mutex *m);
+};
+
+Mutex gA;
+Mutex gB;
+Mutex gC;
+Mutex gD;
+CondVar cv;

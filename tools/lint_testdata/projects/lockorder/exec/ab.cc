@@ -1,0 +1,11 @@
+// Bait (half 1): this TU acquires gA then gB; ba.cc acquires them in
+// the opposite order. Neither file is wrong in isolation — only the
+// whole-project lock graph sees the AB/BA inversion.
+#include "base/sync.h"
+
+void
+lockAB()
+{
+    MutexLock la(&gA);
+    MutexLock lb(&gB); // ursa-lint-test: expect(lock-order)
+}

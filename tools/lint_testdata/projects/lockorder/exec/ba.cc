@@ -1,0 +1,9 @@
+// Bait (half 2): the reverse acquisition order of ab.cc.
+#include "base/sync.h"
+
+void
+lockBA()
+{
+    MutexLock lb(&gB);
+    MutexLock la(&gA); // ursa-lint-test: expect(lock-order)
+}

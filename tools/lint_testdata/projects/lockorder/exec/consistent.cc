@@ -1,0 +1,25 @@
+// Clean: gC -> gD is acquired in the same order everywhere, and a
+// CondVar wait re-acquiring the lock it already holds is not an
+// ordering event. No line here may flag.
+#include "base/sync.h"
+
+void
+lockCD1()
+{
+    MutexLock lc(&gC);
+    MutexLock ld(&gD);
+}
+
+void
+lockCD2()
+{
+    MutexLock lc(&gC);
+    MutexLock ld(&gD);
+}
+
+void
+waitC()
+{
+    MutexLock lc(&gC);
+    cv.wait(&gC);
+}

@@ -16,5 +16,5 @@ reorder(std::vector<long> &v)
 
 // The differential-oracle escape hatch: an explicit suppression keeps
 // the one sanctioned comparison baseline compilable.
-// ursa-lint: allow(banned-heap)
+// ursa-lint: allow(banned-heap) differential oracle vs EventQueue order
 std::priority_queue<long> oracle;         // ursa-lint-test: suppressed(banned-heap)

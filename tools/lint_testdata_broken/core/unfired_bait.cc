@@ -1,0 +1,4 @@
+// Deliberately broken fixture: the directive claims a wall-clock
+// violation on a line that has none, so --self-test must fail with
+// "bait ... did not trigger".
+int calm = 0; // ursa-lint-test: expect(wall-clock)

@@ -1,0 +1,6 @@
+// Deliberately broken fixture: the directive claims the violation is
+// suppressed, but there is no allow() comment, so --self-test must
+// fail with "suppression ... failed to silence".
+#include <ctime>
+
+long loud = time(nullptr); // ursa-lint-test: suppressed(wall-clock)

@@ -1,0 +1,9 @@
+// Deliberately broken fixture project: a real include cycle with no
+// expect() directives, so --self-test must fail with "clean line ...
+// wrongly triggered [layer-cycle]" naming this file and line 4.
+#include "trace/loop_b.h"
+
+struct LoopA
+{
+    LoopB *next = nullptr;
+};

@@ -1,0 +1,8 @@
+// The other half of the loop_a.h cycle. Line 2 must be named by the
+#include "trace/loop_a.h"
+// self-test failure for this project.
+
+struct LoopB
+{
+    LoopA *prev = nullptr;
+};

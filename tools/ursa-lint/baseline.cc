@@ -1,0 +1,124 @@
+#include "baseline.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace ursa::lint
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+bool
+loadBaseline(const std::string &file, std::vector<BaselineEntry> &entries,
+             std::string &error)
+{
+    std::ifstream in(file);
+    if (!in) {
+        error = "cannot read baseline file " + file;
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        // <path>:<line>:<rule>  # reason
+        const std::size_t hash = t.find('#');
+        const std::string key = trim(hash == std::string::npos
+                                         ? t
+                                         : t.substr(0, hash));
+        const std::string reason =
+            hash == std::string::npos ? "" : trim(t.substr(hash + 1));
+        const std::size_t c2 = key.rfind(':');
+        const std::size_t c1 =
+            c2 == std::string::npos ? std::string::npos
+                                    : key.rfind(':', c2 - 1);
+        BaselineEntry e;
+        if (c1 == std::string::npos || c2 == std::string::npos ||
+            c1 == 0 || c2 == c1 + 1) {
+            error = file + ":" + std::to_string(lineno) +
+                    ": malformed baseline entry (want "
+                    "path:line:rule  # reason): " + t;
+            return false;
+        }
+        e.path = key.substr(0, c1);
+        e.rule = key.substr(c2 + 1);
+        e.reason = reason;
+        try {
+            e.line = std::stoi(key.substr(c1 + 1, c2 - c1 - 1));
+        } catch (...) {
+            error = file + ":" + std::to_string(lineno) +
+                    ": non-numeric line in baseline entry: " + t;
+            return false;
+        }
+        if (!knownRule(e.rule)) {
+            error = file + ":" + std::to_string(lineno) +
+                    ": baseline entry names unknown rule '" + e.rule + "'";
+            return false;
+        }
+        if (e.reason.empty()) {
+            error = file + ":" + std::to_string(lineno) +
+                    ": baseline entry without a reason (a baseline is a "
+                    "suppression; justify it after '#'): " + t;
+            return false;
+        }
+        entries.push_back(std::move(e));
+    }
+    return true;
+}
+
+void
+applyBaseline(const std::vector<BaselineEntry> &entries,
+              const std::vector<Violation> &all,
+              std::vector<Violation> &kept,
+              std::vector<Violation> &baselined,
+              std::vector<BaselineEntry> &stale)
+{
+    std::map<std::tuple<std::string, int, std::string>, int> hits;
+    for (const BaselineEntry &e : entries)
+        hits[{e.path, e.line, e.rule}] = 0;
+    for (const Violation &v : all) {
+        const auto it = hits.find({v.path, v.line, v.rule});
+        if (it != hits.end()) {
+            ++it->second;
+            baselined.push_back(v);
+        } else {
+            kept.push_back(v);
+        }
+    }
+    for (const BaselineEntry &e : entries)
+        if (hits[{e.path, e.line, e.rule}] == 0)
+            stale.push_back(e);
+}
+
+std::string
+formatBaseline(const std::vector<Violation> &vs)
+{
+    std::ostringstream out;
+    out << "# ursa-lint baseline: reviewed, grandfathered violations.\n"
+           "# Format: <path>:<line>:<rule>  # <reason>\n"
+           "# A reason is mandatory — a baseline entry is a suppression.\n";
+    for (const Violation &v : vs)
+        out << v.path << ':' << v.line << ':' << v.rule
+            << "  # TODO(justify): " << v.message.substr(0, 60) << '\n';
+    return out.str();
+}
+
+} // namespace ursa::lint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Baseline support: adopt a new cross-file rule without boiling the
+ * ocean in one PR. A baseline file records known, reviewed violations
+ * as `<path>:<line>:<rule>  # reason` lines; `--baseline <file>`
+ * filters exactly those from the report (so the tree stays red for
+ * any NEW violation — same file, new line, or new rule — while the
+ * grandfathered ones are tracked, reasoned about, and burned down
+ * over time). Stale entries (baselined violations that no longer
+ * fire) are surfaced on stderr so the file shrinks with the debt.
+ *
+ * `--write-baseline <file>` emits the current violation set in
+ * baseline format with placeholder reasons, as a starting point.
+ */
+
+#ifndef URSA_TOOLS_LINT_BASELINE_H
+#define URSA_TOOLS_LINT_BASELINE_H
+
+#include "rules.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa::lint
+{
+
+struct BaselineEntry
+{
+    std::string path;
+    int line;
+    std::string rule;
+    std::string reason;
+};
+
+/**
+ * Parse a baseline file. Returns false (with `error` set) on an
+ * unreadable file or a malformed/reasonless entry — a baseline entry
+ * is a suppression and inherits the suppression contract.
+ */
+bool loadBaseline(const std::string &file,
+                  std::vector<BaselineEntry> &entries, std::string &error);
+
+/**
+ * Split `all` into kept (reported) and baselined violations; entries
+ * that matched nothing are returned through `stale`.
+ */
+void applyBaseline(const std::vector<BaselineEntry> &entries,
+                   const std::vector<Violation> &all,
+                   std::vector<Violation> &kept,
+                   std::vector<Violation> &baselined,
+                   std::vector<BaselineEntry> &stale);
+
+/** Serialize violations as baseline lines with TODO reasons. */
+std::string formatBaseline(const std::vector<Violation> &vs);
+
+} // namespace ursa::lint
+
+#endif // URSA_TOOLS_LINT_BASELINE_H

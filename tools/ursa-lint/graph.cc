@@ -1,0 +1,143 @@
+#include "graph.h"
+
+#include <algorithm>
+
+namespace ursa::lint
+{
+
+int
+Digraph::node(const std::string &name)
+{
+    auto [it, inserted] = ids_.emplace(name, static_cast<int>(names_.size()));
+    if (inserted) {
+        names_.push_back(name);
+        adj_.emplace_back();
+    }
+    return it->second;
+}
+
+int
+Digraph::find(const std::string &name) const
+{
+    const auto it = ids_.find(name);
+    return it == ids_.end() ? -1 : it->second;
+}
+
+void
+Digraph::addEdge(int from, int to)
+{
+    auto &succ = adj_[from];
+    if (std::find(succ.begin(), succ.end(), to) == succ.end())
+        succ.push_back(to);
+}
+
+std::vector<int>
+Digraph::sccIds() const
+{
+    const int n = size();
+    std::vector<int> comp(n, -1), index(n, -1), low(n, 0), stack;
+    std::vector<bool> onStack(n, false);
+    int nextIndex = 0, nextComp = 0;
+
+    // Iterative Tarjan: frame = (node, next-successor position), so
+    // fixture projects and 1000-file trees alike cannot overflow the
+    // call stack.
+    struct Frame
+    {
+        int v;
+        std::size_t pos;
+    };
+    std::vector<Frame> frames;
+    for (int root = 0; root < n; ++root) {
+        if (index[root] != -1)
+            continue;
+        frames.push_back({root, 0});
+        index[root] = low[root] = nextIndex++;
+        stack.push_back(root);
+        onStack[root] = true;
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            if (f.pos < adj_[f.v].size()) {
+                const int w = adj_[f.v][f.pos++];
+                if (index[w] == -1) {
+                    index[w] = low[w] = nextIndex++;
+                    stack.push_back(w);
+                    onStack[w] = true;
+                    frames.push_back({w, 0});
+                } else if (onStack[w]) {
+                    low[f.v] = std::min(low[f.v], index[w]);
+                }
+                continue;
+            }
+            if (low[f.v] == index[f.v]) {
+                int w;
+                do {
+                    w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = false;
+                    comp[w] = nextComp;
+                } while (w != f.v);
+                ++nextComp;
+            }
+            const int v = f.v;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+    }
+    return comp;
+}
+
+std::vector<int>
+Digraph::sccSizes(const std::vector<int> &ids)
+{
+    std::vector<int> sizes;
+    for (const int id : ids) {
+        if (id >= static_cast<int>(sizes.size()))
+            sizes.resize(id + 1, 0);
+        ++sizes[id];
+    }
+    return sizes;
+}
+
+bool
+Digraph::edgeOnCycle(const std::vector<int> &ids,
+                     const std::vector<int> &sizes, int from, int to) const
+{
+    if (ids[from] != ids[to])
+        return false;
+    if (from == to)
+        return true; // self-edge
+    return sizes[ids[from]] >= 2;
+}
+
+std::vector<std::string>
+Digraph::cycleThrough(int from, int to) const
+{
+    // BFS from `to` back to `from`; restricting to the shared SCC is
+    // unnecessary for correctness (any path back closes the cycle).
+    std::vector<int> prev(size(), -1);
+    std::vector<int> queue{to};
+    prev[to] = to;
+    for (std::size_t q = 0; q < queue.size(); ++q) {
+        const int v = queue[q];
+        if (v == from)
+            break;
+        for (const int w : successors(v))
+            if (prev[w] == -1) {
+                prev[w] = v;
+                queue.push_back(w);
+            }
+    }
+    if (prev[from] == -1 && from != to)
+        return {};
+    std::vector<std::string> path;
+    for (int v = from; v != to; v = prev[v])
+        path.push_back(name(v));
+    path.push_back(name(to));
+    std::reverse(path.begin(), path.end());
+    path.insert(path.begin(), name(from));
+    return path;
+}
+
+} // namespace ursa::lint

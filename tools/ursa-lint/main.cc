@@ -2,41 +2,65 @@
  * @file
  * ursa-lint — the project's native determinism / concurrency-hygiene
  * analyzer (successor of scripts/lint_determinism.py; see DESIGN.md
- * §9 for the rule catalogue and suppression policy).
+ * §9/§11 for the rule catalogue and suppression policy).
  *
  * Modes:
- *   ursa-lint --root <dir>                  lint a source tree
- *   ursa-lint --self-test --testdata <dir>  run the bait/clean fixtures
- *   ursa-lint --list-rules                  print the rule catalogue
+ *   ursa-lint --root <dir> [--baseline <file>] [--format text|sarif]
+ *       lint a source tree: pass 1 lexes and indexes every file in
+ *       parallel (ursa::exec::parallelMap, URSA_THREADS), pass 2 runs
+ *       the cross-file rules (layer graph, lock order, include
+ *       hygiene) over the assembled project model
+ *   ursa-lint --root <dir> --write-baseline <file>
+ *       emit the current violations in baseline format
+ *   ursa-lint --self-test --testdata <dir>
+ *       run the bait/clean fixtures, including the multi-file fixture
+ *       projects under <dir>/projects/
+ *   ursa-lint --list-rules [--format markdown]
+ *       print the rule catalogue
  *
  * Output is machine-readable, one violation per line:
  *
- *   <file>:<line>:<rule>: <message>
+ *   <root-joined file>:<line>:<rule>: <message>
  *
- * Suppression: append `// ursa-lint: allow(<rule>)` to the offending
- * line (or the line directly above) with a reason.
+ * Suppression: append `// ursa-lint: allow(<rule>) <reason>` to the
+ * offending line (or the line directly above). The reason is
+ * mandatory; a reasonless allow() suppresses nothing and itself
+ * violates suppression-reason.
  *
  * Self-test fixtures under tools/lint_testdata/ carry expectations in
  * comments: `// ursa-lint-test: expect(<rule>)` marks a line that MUST
  * flag, `// ursa-lint-test: suppressed(<rule>)` marks a line whose
  * suppression comment MUST win. Any violation on an unmarked fixture
  * line fails the self-test, so both false negatives and false
- * positives are pinned.
+ * positives are pinned. Each directory under <testdata>/projects/ is
+ * one fixture *project*: its files are linted together through the
+ * whole-project pass, so cross-file baits (an include cycle, an AB/BA
+ * lock inversion split across two TUs) can be pinned the same way.
  *
  * Exit status: 0 clean, 1 violations/self-test failure, 2 usage error.
  */
 
+#include "baseline.h"
+#include "model.h"
+#include "output.h"
+#include "project_rules.h"
 #include "rules.h"
+
+#include "exec/thread_pool.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 namespace fs = std::filesystem;
+using ursa::lint::FileModel;
+using ursa::lint::ProjectModel;
 using ursa::lint::Violation;
 
 namespace
@@ -49,15 +73,31 @@ lintableExtension(const fs::path &p)
     return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
 }
 
-/** Files under `root` in sorted relative-path order. */
+/**
+ * Files under `root` in sorted relative-path order. Build trees
+ * (any "build*" directory), VCS metadata (.git) and hidden
+ * directories are skipped so a repo-root scan lints the sources, not
+ * the generated forest.
+ */
 std::vector<std::string>
 collectFiles(const fs::path &root)
 {
     std::vector<std::string> rel;
-    for (const auto &entry : fs::recursive_directory_iterator(root))
+    auto it = fs::recursive_directory_iterator(root);
+    const auto end = fs::recursive_directory_iterator();
+    for (; it != end; ++it) {
+        const fs::directory_entry &entry = *it;
+        if (entry.is_directory()) {
+            const std::string name = entry.path().filename().string();
+            if (name == ".git" || name.rfind("build", 0) == 0 ||
+                (!name.empty() && name[0] == '.'))
+                it.disable_recursion_pending();
+            continue;
+        }
         if (entry.is_regular_file() && lintableExtension(entry.path()))
             rel.push_back(
                 entry.path().lexically_relative(root).generic_string());
+    }
     std::sort(rel.begin(), rel.end());
     return rel;
 }
@@ -74,8 +114,41 @@ readFile(const fs::path &p, std::string &out)
     return true;
 }
 
+/** Result of pass 1 for one file (parallel unit; index-ordered). */
+struct ScannedFile
+{
+    FileModel model;
+    std::vector<Violation> violations; ///< per-file rules only
+    bool readError = false;
+};
+
+/**
+ * Pass 1: read + lex + index + per-file lint every file, in parallel.
+ * Each index owns its slot, so results are position-stable and the
+ * merged output is byte-identical to a sequential scan for any
+ * URSA_THREADS.
+ */
+std::vector<ScannedFile>
+scanFiles(const fs::path &root, const std::vector<std::string> &files)
+{
+    return ursa::exec::parallelMap<ScannedFile>(
+        files.size(), [&](std::size_t i) {
+            ScannedFile sf;
+            std::string source;
+            if (!readFile(root / files[i], source)) {
+                sf.readError = true;
+                return sf;
+            }
+            sf.model = ursa::lint::buildFileModel(files[i], source);
+            sf.violations =
+                ursa::lint::lintFileLexed(files[i], sf.model.lx);
+            return sf;
+        });
+}
+
 int
-lintTree(const std::string &rootArg)
+lintTree(const std::string &rootArg, const std::string &baselineArg,
+         const std::string &writeBaselineArg, const std::string &format)
 {
     const fs::path root(rootArg);
     if (!fs::is_directory(root)) {
@@ -83,25 +156,107 @@ lintTree(const std::string &rootArg)
                      rootArg.c_str());
         return 2;
     }
-    std::size_t count = 0;
-    for (const std::string &rel : collectFiles(root)) {
-        std::string source;
-        if (!readFile(root / rel, source)) {
-            std::fprintf(stderr, "error: cannot read %s\n", rel.c_str());
+    const std::vector<std::string> files = collectFiles(root);
+    std::vector<ScannedFile> scanned = scanFiles(root, files);
+
+    std::vector<Violation> all;
+    std::vector<FileModel> models;
+    models.reserve(scanned.size());
+    for (std::size_t i = 0; i < scanned.size(); ++i) {
+        if (scanned[i].readError) {
+            std::fprintf(stderr, "error: cannot read %s\n",
+                         files[i].c_str());
             return 2;
         }
-        for (const Violation &v : ursa::lint::lintFile(rel, source)) {
-            std::printf("%s/%s:%d:%s: %s\n", rootArg.c_str(),
-                        v.path.c_str(), v.line, v.rule.c_str(),
-                        v.message.c_str());
-            ++count;
-        }
+        all.insert(all.end(), scanned[i].violations.begin(),
+                   scanned[i].violations.end());
+        models.push_back(std::move(scanned[i].model));
     }
-    if (count > 0) {
-        std::fprintf(stderr, "ursa-lint: %zu violation(s)\n", count);
+
+    // Pass 2: cross-file rules over the whole-project model.
+    const ProjectModel pm =
+        ursa::lint::buildProjectModel(std::move(models));
+    const std::vector<Violation> cross = ursa::lint::lintProject(pm);
+    all.insert(all.end(), cross.begin(), cross.end());
+    ursa::lint::sortViolations(all);
+
+    if (!writeBaselineArg.empty()) {
+        std::ofstream out(writeBaselineArg);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         writeBaselineArg.c_str());
+            return 2;
+        }
+        std::vector<Violation> joined = all;
+        for (Violation &v : joined)
+            v.path = ursa::lint::displayPath(rootArg, v.path);
+        out << ursa::lint::formatBaseline(joined);
+        std::fprintf(stderr,
+                     "ursa-lint: wrote %zu baseline entr%s to %s\n",
+                     all.size(), all.size() == 1 ? "y" : "ies",
+                     writeBaselineArg.c_str());
+        return 0;
+    }
+
+    std::vector<Violation> kept = all;
+    if (!baselineArg.empty()) {
+        std::vector<ursa::lint::BaselineEntry> entries, stale;
+        std::vector<Violation> baselined;
+        std::string error;
+        if (!ursa::lint::loadBaseline(baselineArg, entries, error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+        // Baseline entries are spelled as they appeared in some
+        // report (root-joined — "src/sim/a.cc", or absolute when CI
+        // lints with an absolute --root); violations carry
+        // root-relative paths internally. Resolve each entry to the
+        // unique scanned file it names, whatever root spelling either
+        // side used: exact relative match first, then the longest
+        // scanned path the entry ends with as a "/"-separated suffix.
+        const std::set<std::string> known(files.begin(), files.end());
+        for (auto &e : entries) {
+            if (known.count(e.path))
+                continue;
+            std::string best;
+            for (const std::string &r : files)
+                if (e.path.size() > r.size() &&
+                    e.path.compare(e.path.size() - r.size(), r.size(), r) ==
+                        0 &&
+                    e.path[e.path.size() - r.size() - 1] == '/' &&
+                    r.size() > best.size())
+                    best = r;
+            if (!best.empty())
+                e.path = best;
+        }
+        kept.clear();
+        ursa::lint::applyBaseline(entries, all, kept, baselined, stale);
+        for (const auto &e : stale)
+            std::fprintf(stderr,
+                         "ursa-lint: stale baseline entry %s:%d:%s no "
+                         "longer fires — delete it\n",
+                         ursa::lint::displayPath(rootArg, e.path).c_str(),
+                         e.line, e.rule.c_str());
+        if (!baselined.empty())
+            std::fprintf(stderr,
+                         "ursa-lint: %zu baselined violation(s) "
+                         "suppressed via %s\n",
+                         baselined.size(), baselineArg.c_str());
+    }
+
+    if (format == "sarif") {
+        std::fputs(ursa::lint::formatSarif(kept, rootArg).c_str(), stdout);
+    } else {
+        std::fputs(ursa::lint::formatText(kept, rootArg).c_str(), stdout);
+        if (kept.empty())
+            std::printf("ursa-lint: clean (%zu files, %zu cross-file "
+                        "edges checked)\n",
+                        files.size(), pm.files.size());
+    }
+    if (!kept.empty()) {
+        std::fprintf(stderr, "ursa-lint: %zu violation(s)\n", kept.size());
         return 1;
     }
-    std::printf("ursa-lint: clean\n");
     return 0;
 }
 
@@ -153,6 +308,53 @@ parseDirectives(const std::string &rel,
     return out;
 }
 
+/**
+ * Check one fixture unit: `got` violations (paths relative to the
+ * fixture root, `prefix` restores testdata-relative naming) against
+ * the per-file expectations.
+ */
+void
+checkExpectations(const std::string &prefix,
+                  const std::map<std::string, std::vector<Expectation>>
+                      &expectsByFile,
+                  const std::vector<Violation> &got,
+                  std::size_t &fired, std::size_t &suppressedQuiet,
+                  std::vector<std::string> &failures)
+{
+    auto found = [&](const std::string &path, const Expectation &e) {
+        return std::any_of(got.begin(), got.end(), [&](const Violation &v) {
+            return v.path == path && v.line == e.line && v.rule == e.rule;
+        });
+    };
+    for (const auto &[path, expects] : expectsByFile)
+        for (const Expectation &e : expects) {
+            if (e.mustFire && !found(path, e))
+                failures.push_back("bait " + prefix + path + ":" +
+                                   std::to_string(e.line) +
+                                   " did not trigger [" + e.rule + "]");
+            else if (!e.mustFire && found(path, e))
+                failures.push_back("suppression " + prefix + path + ":" +
+                                   std::to_string(e.line) +
+                                   " failed to silence [" + e.rule + "]");
+            else
+                ++(e.mustFire ? fired : suppressedQuiet);
+        }
+    for (const Violation &v : got) {
+        const auto it = expectsByFile.find(v.path);
+        const bool expected =
+            it != expectsByFile.end() &&
+            std::any_of(it->second.begin(), it->second.end(),
+                        [&](const Expectation &e) {
+                            return e.mustFire && e.line == v.line &&
+                                   e.rule == v.rule;
+                        });
+        if (!expected)
+            failures.push_back("clean line " + prefix + v.path + ":" +
+                               std::to_string(v.line) +
+                               " wrongly triggered [" + v.rule + "]");
+    }
+}
+
 int
 selfTest(const std::string &testdataArg)
 {
@@ -163,8 +365,25 @@ selfTest(const std::string &testdataArg)
         return 2;
     }
     std::vector<std::string> failures;
-    std::size_t fired = 0, suppressedQuiet = 0, files = 0;
+    std::size_t fired = 0, suppressedQuiet = 0, files = 0, projects = 0;
+
+    // Partition: projects/<name>/... are whole-project fixtures, the
+    // rest are single-file fixtures.
+    std::map<std::string, std::vector<std::string>> projectFiles;
+    std::vector<std::string> singles;
     for (const std::string &rel : collectFiles(root)) {
+        if (rel.rfind("projects/", 0) == 0) {
+            const std::size_t slash = rel.find('/', 9);
+            if (slash != std::string::npos) {
+                projectFiles[rel.substr(9, slash - 9)].push_back(
+                    rel.substr(slash + 1));
+                continue;
+            }
+        }
+        singles.push_back(rel);
+    }
+
+    for (const std::string &rel : singles) {
         std::string source;
         if (!readFile(root / rel, source)) {
             std::fprintf(stderr, "error: cannot read %s\n", rel.c_str());
@@ -172,51 +391,55 @@ selfTest(const std::string &testdataArg)
         }
         ++files;
         const ursa::lint::LexedFile lx = ursa::lint::lex(source);
-        const std::vector<Expectation> expects =
-            parseDirectives(rel, lx.comments, failures);
-        const std::vector<Violation> got =
-            ursa::lint::lintFile(rel, source);
-
-        auto found = [&](const Expectation &e) {
-            return std::any_of(got.begin(), got.end(),
-                               [&](const Violation &v) {
-                                   return v.line == e.line &&
-                                          v.rule == e.rule;
-                               });
-        };
-        for (const Expectation &e : expects) {
-            if (e.mustFire && !found(e))
-                failures.push_back("bait " + rel + ":" +
-                                   std::to_string(e.line) +
-                                   " did not trigger [" + e.rule + "]");
-            else if (!e.mustFire && found(e))
-                failures.push_back("suppression " + rel + ":" +
-                                   std::to_string(e.line) +
-                                   " failed to silence [" + e.rule + "]");
-            else
-                ++(e.mustFire ? fired : suppressedQuiet);
-        }
-        for (const Violation &v : got) {
-            const bool expected = std::any_of(
-                expects.begin(), expects.end(), [&](const Expectation &e) {
-                    return e.mustFire && e.line == v.line && e.rule == v.rule;
-                });
-            if (!expected)
-                failures.push_back("clean line " + rel + ":" +
-                                   std::to_string(v.line) +
-                                   " wrongly triggered [" + v.rule + "]");
-        }
+        std::map<std::string, std::vector<Expectation>> expects;
+        expects[rel] = parseDirectives(rel, lx.comments, failures);
+        checkExpectations("", expects,
+                          ursa::lint::lintFileLexed(rel, lx), fired,
+                          suppressedQuiet, failures);
     }
+
+    for (const auto &[name, rels] : projectFiles) {
+        const std::string prefix = "projects/" + name + "/";
+        std::vector<FileModel> models;
+        std::map<std::string, std::vector<Expectation>> expects;
+        std::vector<Violation> got;
+        for (const std::string &rel : rels) {
+            std::string source;
+            if (!readFile(root / (prefix + rel), source)) {
+                std::fprintf(stderr, "error: cannot read %s%s\n",
+                             prefix.c_str(), rel.c_str());
+                return 2;
+            }
+            ++files;
+            FileModel fm = ursa::lint::buildFileModel(rel, source);
+            expects[rel] =
+                parseDirectives(prefix + rel, fm.lx.comments, failures);
+            const std::vector<Violation> perFile =
+                ursa::lint::lintFileLexed(rel, fm.lx);
+            got.insert(got.end(), perFile.begin(), perFile.end());
+            models.push_back(std::move(fm));
+        }
+        ++projects;
+        const ProjectModel pm =
+            ursa::lint::buildProjectModel(std::move(models));
+        const std::vector<Violation> cross = ursa::lint::lintProject(pm);
+        got.insert(got.end(), cross.begin(), cross.end());
+        checkExpectations(prefix, expects, got, fired, suppressedQuiet,
+                          failures);
+    }
+
     if (files == 0)
         failures.push_back("no fixture files under " + testdataArg);
     if (!failures.empty()) {
+        std::sort(failures.begin(), failures.end());
         for (const std::string &f : failures)
             std::fprintf(stderr, "self-test FAIL: %s\n", f.c_str());
         return 1;
     }
     std::printf("self-test OK: %zu bait expectations fired, %zu "
-                "suppressions quiet, %zu fixture files\n",
-                fired, suppressedQuiet, files);
+                "suppressions quiet, %zu fixture files (%zu fixture "
+                "projects)\n",
+                fired, suppressedQuiet, files, projects);
     return 0;
 }
 
@@ -225,7 +448,7 @@ selfTest(const std::string &testdataArg)
 int
 main(int argc, char **argv)
 {
-    std::string root, testdata;
+    std::string root, testdata, baseline, writeBaseline, format = "text";
     bool selfTestMode = false, listRules = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -233,20 +456,37 @@ main(int argc, char **argv)
             root = argv[++i];
         else if (arg == "--testdata" && i + 1 < argc)
             testdata = argv[++i];
+        else if (arg == "--baseline" && i + 1 < argc)
+            baseline = argv[++i];
+        else if (arg == "--write-baseline" && i + 1 < argc)
+            writeBaseline = argv[++i];
+        else if (arg == "--format" && i + 1 < argc)
+            format = argv[++i];
+        else if (arg.rfind("--format=", 0) == 0)
+            format = arg.substr(9);
         else if (arg == "--self-test")
             selfTestMode = true;
         else if (arg == "--list-rules")
             listRules = true;
         else {
-            std::fprintf(stderr,
-                         "usage: ursa-lint --root <dir> | --self-test "
-                         "--testdata <dir> | --list-rules\n");
+            std::fprintf(
+                stderr,
+                "usage: ursa-lint --root <dir> [--baseline <file>] "
+                "[--write-baseline <file>] [--format text|sarif]\n"
+                "     | ursa-lint --self-test --testdata <dir>\n"
+                "     | ursa-lint --list-rules [--format markdown]\n");
             return 2;
         }
     }
     if (listRules) {
-        for (const ursa::lint::RuleInfo &r : ursa::lint::ruleCatalogue())
-            std::printf("%-20s %s\n", r.id, r.summary);
+        if (format == "markdown") {
+            std::fputs(ursa::lint::formatRuleTableMarkdown().c_str(),
+                       stdout);
+        } else {
+            for (const ursa::lint::RuleInfo &r :
+                 ursa::lint::ruleCatalogue())
+                std::printf("%-20s %s\n", r.id, r.summary);
+        }
         return 0;
     }
     if (selfTestMode) {
@@ -257,9 +497,14 @@ main(int argc, char **argv)
         }
         return selfTest(testdata);
     }
+    if (format != "text" && format != "sarif") {
+        std::fprintf(stderr, "error: unknown --format %s\n",
+                     format.c_str());
+        return 2;
+    }
     if (root.empty()) {
         std::fprintf(stderr, "error: --root is required (or --self-test)\n");
         return 2;
     }
-    return lintTree(root);
+    return lintTree(root, baseline, writeBaseline, format);
 }

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-project model for ursa-lint's cross-file pass.
+ *
+ * Pass 1 of the analyzer lexes every file under the lint root and
+ * distills each into a `FileModel`: the resolved project-internal
+ * include edges, a heuristic symbol index (what the file *provides*
+ * to includers and which identifiers it *uses*), and the lock
+ * acquisition sequences extracted from nested `base::MutexLock` /
+ * `CondVar::wait` scopes. `ProjectModel` stitches the per-file models
+ * together (include resolution by root-relative path) so pass 2's
+ * rules — layer-violation, layer-cycle, lock-order, include-hygiene —
+ * can reason about the program as one graph instead of one file at a
+ * time.
+ *
+ * The symbol index is a token-level approximation, not a compiler
+ * front end: it tracks namespace/class/enum/function brace scopes and
+ * records type names, macros, enumerators, namespace-scope
+ * functions/constants, and class member names. That is deliberately
+ * conservative in the direction that matters — include-hygiene only
+ * *flags* an include when the included file contributes no detectable
+ * symbol at all, so indexer misses produce silence, not noise.
+ */
+
+#ifndef URSA_TOOLS_LINT_MODEL_H
+#define URSA_TOOLS_LINT_MODEL_H
+
+#include "lexer.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ursa::lint
+{
+
+/** One lock acquired while another is held, with its source site. */
+struct LockEdge
+{
+    std::string held;     ///< normalized expression of the outer lock
+    std::string acquired; ///< normalized expression of the inner lock
+    int line;             ///< acquisition site (inner lock)
+    std::string function; ///< best-effort enclosing function ("" unknown)
+};
+
+/** A quoted include resolved against the project file set. */
+struct ResolvedInclude
+{
+    std::string header; ///< spelled path between the delimiters
+    int line;           ///< 1-based
+    int target;         ///< index into ProjectModel::files, -1 external
+    bool angled;        ///< <...> includes are never project-internal
+};
+
+struct FileModel
+{
+    std::string path;  ///< root-relative, '/'-separated
+    std::string layer; ///< first path component ("" for root files)
+    LexedFile lx;
+    std::vector<ResolvedInclude> includes;
+    /// Every symbol the file defines for includers: types, macros,
+    /// enumerators, namespace-scope functions/constants, class member
+    /// names. Drives the "include contributes nothing" check.
+    std::set<std::string> provides;
+    /// Distinctive subset of `provides` — types, macros, enumerators,
+    /// namespace-scope functions/constants, but *not* class members —
+    /// used for the transitive-use check, where a match must identify
+    /// the providing file rather than merely fail to rule it out.
+    std::set<std::string> anchors;
+    /// Every identifier spelled anywhere in the file.
+    std::set<std::string> idents;
+    std::vector<LockEdge> lockEdges;
+};
+
+struct ProjectModel
+{
+    std::vector<FileModel> files;    ///< sorted by path
+    std::map<std::string, int> byPath;
+
+    int
+    fileIndex(const std::string &path) const
+    {
+        const auto it = byPath.find(path);
+        return it == byPath.end() ? -1 : it->second;
+    }
+};
+
+/**
+ * The declared layer DAG, bottom-up:
+ *
+ *   base -> check/stats -> exec -> sim/trace/workload -> solver/ml
+ *        -> baselines/core -> apps
+ *
+ * Returns the layer's level (0 = base), or -1 for a layer the DAG
+ * does not know (such files are exempt from layer rules). A file may
+ * include files of its own or any *lower* level; same-level sibling
+ * layers may include each other (the file-granularity layer-cycle
+ * rule still forbids genuine cycles between them).
+ */
+int layerLevel(const std::string &layer);
+
+/** Lex + index one file (pass 1 unit of work; pure, parallel-safe). */
+FileModel buildFileModel(const std::string &relPath,
+                         const std::string &source);
+
+/** Link per-file models: sorts by path and resolves includes. */
+ProjectModel buildProjectModel(std::vector<FileModel> files);
+
+} // namespace ursa::lint
+
+#endif // URSA_TOOLS_LINT_MODEL_H

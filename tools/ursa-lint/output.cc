@@ -1,0 +1,138 @@
+#include "output.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ursa::lint
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (SARIF payloads are ASCII-ish). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+displayPath(const std::string &root, const std::string &rel)
+{
+    namespace fs = std::filesystem;
+    return (fs::path(root) / rel).lexically_normal().generic_string();
+}
+
+std::string
+formatText(const std::vector<Violation> &vs, const std::string &root)
+{
+    std::string out;
+    for (const Violation &v : vs) {
+        out += displayPath(root, v.path);
+        out += ':';
+        out += std::to_string(v.line);
+        out += ':';
+        out += v.rule;
+        out += ": ";
+        out += v.message;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+formatSarif(const std::vector<Violation> &vs, const std::string &root)
+{
+    std::string out;
+    out += "{\n"
+           "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+           "  \"version\": \"2.1.0\",\n"
+           "  \"runs\": [\n"
+           "    {\n"
+           "      \"tool\": {\n"
+           "        \"driver\": {\n"
+           "          \"name\": \"ursa-lint\",\n"
+           "          \"informationUri\": "
+           "\"https://example.invalid/ursa-lint\",\n"
+           "          \"rules\": [\n";
+    const auto &rules = ruleCatalogue();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += "            {\"id\": \"";
+        out += jsonEscape(rules[i].id);
+        out += "\", \"shortDescription\": {\"text\": \"";
+        out += jsonEscape(rules[i].summary);
+        out += "\"}}";
+        out += i + 1 < rules.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n"
+           "        }\n"
+           "      },\n"
+           "      \"results\": [\n";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        const Violation &v = vs[i];
+        out += "        {\"ruleId\": \"";
+        out += jsonEscape(v.rule);
+        out += "\", \"level\": \"error\", \"message\": {\"text\": \"";
+        out += jsonEscape(v.message);
+        out += "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"";
+        out += jsonEscape(displayPath(root, v.path));
+        out += "\"}, \"region\": {\"startLine\": ";
+        out += std::to_string(v.line);
+        out += "}}}]}";
+        out += i + 1 < vs.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n"
+           "    }\n"
+           "  ]\n"
+           "}\n";
+    return out;
+}
+
+std::string
+formatRuleTableMarkdown()
+{
+    std::string out = "| Rule | What it catches |\n| --- | --- |\n";
+    for (const RuleInfo &r : ruleCatalogue()) {
+        out += "| `";
+        out += r.id;
+        out += "` | ";
+        out += r.summary;
+        out += " |\n";
+    }
+    return out;
+}
+
+} // namespace ursa::lint

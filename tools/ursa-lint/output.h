@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Violation emitters for ursa-lint.
+ *
+ * Text is the developer/ctest format (one `file:line:rule: message`
+ * per line, root-joined paths). SARIF 2.1.0 is for CI: the lint leg
+ * uploads the report as an artifact and to GitHub code scanning, so
+ * findings annotate the PR diff instead of scrolling past in a log.
+ * The markdown rule table backs `--list-rules --format=markdown`,
+ * which DESIGN.md's catalogue section is generated from (a ctest
+ * pins the two together so docs and catalogue cannot drift).
+ */
+
+#ifndef URSA_TOOLS_LINT_OUTPUT_H
+#define URSA_TOOLS_LINT_OUTPUT_H
+
+#include "rules.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa::lint
+{
+
+/**
+ * Join `root` and `rel` into a normalized display path: root "src/",
+ * rel "sim/a.cc" -> "src/sim/a.cc" (never "src//sim/a.cc"); root "."
+ * collapses away entirely.
+ */
+std::string displayPath(const std::string &root, const std::string &rel);
+
+/** One `path:line:rule: message` line per violation. */
+std::string formatText(const std::vector<Violation> &vs,
+                       const std::string &root);
+
+/** A complete SARIF 2.1.0 document (uris are root-joined paths). */
+std::string formatSarif(const std::vector<Violation> &vs,
+                        const std::string &root);
+
+/** The rule catalogue as a markdown table (for the generated docs). */
+std::string formatRuleTableMarkdown();
+
+} // namespace ursa::lint
+
+#endif // URSA_TOOLS_LINT_OUTPUT_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Pass 2 of ursa-lint: cross-file rules over the ProjectModel.
+ *
+ *   layer-violation  an include that crosses the declared layer DAG
+ *                    upward (see layerLevel() in model.h)
+ *   layer-cycle      a strongly connected component in the project
+ *                    include graph
+ *   lock-order       a cycle in the global lock-acquisition-order
+ *                    graph assembled from every TU's nested
+ *                    MutexLock / CondVar::wait scopes (AB/BA
+ *                    inversions across translation units)
+ *   include-hygiene  IWYU-lite — includes that contribute no used
+ *                    symbol, and symbols used but only reachable
+ *                    through transitive includes
+ *
+ * Per-file rules (rules.h) see one file at a time; these see the
+ * program. Suppressions (`// ursa-lint: allow(rule) reason`) are
+ * honoured at the reported line of the reporting file.
+ */
+
+#ifndef URSA_TOOLS_LINT_PROJECT_RULES_H
+#define URSA_TOOLS_LINT_PROJECT_RULES_H
+
+#include "model.h"
+#include "rules.h"
+
+namespace ursa::lint
+{
+
+/** Run every cross-file rule; returns violations in canonical order. */
+std::vector<Violation> lintProject(const ProjectModel &pm);
+
+} // namespace ursa::lint
+
+#endif // URSA_TOOLS_LINT_PROJECT_RULES_H

@@ -103,9 +103,79 @@ const std::vector<RuleInfo> kRules = {
      "std::priority_queue / heap algorithms in src/sim; all event "
      "ordering must go through EventQueue's strict (time, seq) total "
      "order"},
+    {"suppression-reason",
+     "// ursa-lint: allow(rule) must carry a non-empty reason after the "
+     "paren group (and name only known rules); a reasonless allow "
+     "suppresses nothing"},
+    {"layer-violation",
+     "include crosses the layer DAG upward (base -> check/stats -> exec "
+     "-> sim/trace/workload -> solver/ml -> baselines/core -> apps); a "
+     "layer may depend only on its own or lower levels"},
+    {"layer-cycle",
+     "include cycle between project files (strongly connected component "
+     "in the include graph); break the cycle with a forward declaration "
+     "or an interface split"},
+    {"lock-order",
+     "lock acquired in an order that cycles with another translation "
+     "unit's acquisition order (AB/BA inversion) — potential deadlock; "
+     "acquire locks in one global order"},
+    {"include-hygiene",
+     "include-what-you-use: an include that contributes no symbol used "
+     "by this file, or a symbol used here but reachable only through "
+     "transitive includes"},
 };
 
 // --- context -------------------------------------------------------------
+
+/**
+ * Parsed form of one `// ursa-lint: allow(a, b) reason` comment: the
+ * listed rule ids and whether a non-empty reason follows the parens.
+ */
+struct AllowComment
+{
+    std::vector<std::string> rules;
+    bool hasReason = false;
+};
+
+/** Parse the allow() group in comment text `c`, if any. */
+bool
+parseAllow(const std::string &c, AllowComment &out)
+{
+    std::size_t at = c.find("ursa-lint:");
+    if (at == std::string::npos)
+        return false;
+    at = c.find("allow(", at);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t close = c.find(')', at);
+    if (close == std::string::npos)
+        return false;
+    const std::string list = c.substr(at + 6, close - (at + 6));
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(pos, comma - pos);
+        const auto b = item.find_first_not_of(" \t");
+        const auto e = item.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.rules.push_back(item.substr(b, e - b + 1));
+        pos = comma + 1;
+    }
+    out.hasReason =
+        c.find_first_not_of(" \t\r", close + 1) != std::string::npos;
+    return true;
+}
+
+const std::string &
+commentOn(const LexedFile &lx, int line)
+{
+    static const std::string empty;
+    if (line < 1 || line >= static_cast<int>(lx.comments.size()))
+        return empty;
+    return lx.comments[line];
+}
 
 struct Ctx
 {
@@ -115,55 +185,25 @@ struct Ctx
     std::string stem;     ///< fileName without extension
     std::string dir;      ///< path minus fileName ("" if none)
     bool isHeader = false;
-    LexedFile lx;
+    const LexedFile *lxp = nullptr;
     std::vector<Violation> out;
+
+    const LexedFile &
+    lxRef() const
+    {
+        return *lxp;
+    }
 
     const std::string &
     commentAt(int line) const
     {
-        static const std::string empty;
-        if (line < 1 || line >= static_cast<int>(lx.comments.size()))
-            return empty;
-        return lx.comments[line];
-    }
-
-    /** `// ursa-lint: allow(rule)` on the line or the line above. */
-    bool
-    suppressed(int line, const std::string &rule) const
-    {
-        for (int l = line; l >= line - 1 && l >= 1; --l) {
-            const std::string &c = commentAt(l);
-            std::size_t at = c.find("ursa-lint:");
-            if (at == std::string::npos)
-                continue;
-            at = c.find("allow(", at);
-            if (at == std::string::npos)
-                continue;
-            const std::size_t close = c.find(')', at);
-            if (close == std::string::npos)
-                continue;
-            std::string list = c.substr(at + 6, close - (at + 6));
-            std::size_t pos = 0;
-            while (pos <= list.size()) {
-                std::size_t comma = list.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = list.size();
-                std::string item = list.substr(pos, comma - pos);
-                const auto b = item.find_first_not_of(" \t");
-                const auto e = item.find_last_not_of(" \t");
-                if (b != std::string::npos &&
-                    item.substr(b, e - b + 1) == rule)
-                    return true;
-                pos = comma + 1;
-            }
-        }
-        return false;
+        return commentOn(*lxp, line);
     }
 
     void
     report(int line, const std::string &rule, const std::string &message)
     {
-        if (!suppressed(line, rule))
+        if (!suppressedAt(*lxp, line, rule))
             out.push_back({path, line, rule, message});
     }
 
@@ -172,7 +212,7 @@ struct Ctx
     const std::vector<Token> &
     toks() const
     {
-        return lx.tokens;
+        return lxp->tokens;
     }
 
     bool
@@ -463,13 +503,13 @@ ruleRawThread(Ctx &ctx)
 void
 ruleIncludeOrder(Ctx &ctx)
 {
-    if (ctx.isHeader || ctx.lx.includes.empty())
+    if (ctx.isHeader || ctx.lxRef().includes.empty())
         return;
     const std::string own = ctx.stem + ".h";
     const std::string ownQualified =
         ctx.dir.empty() ? own : ctx.dir + "/" + own;
-    for (std::size_t i = 0; i < ctx.lx.includes.size(); ++i) {
-        const IncludeDirective &inc = ctx.lx.includes[i];
+    for (std::size_t i = 0; i < ctx.lxRef().includes.size(); ++i) {
+        const IncludeDirective &inc = ctx.lxRef().includes[i];
         if (inc.angled || (inc.header != own && inc.header != ownQualified))
             continue;
         if (i != 0)
@@ -481,7 +521,7 @@ ruleIncludeOrder(Ctx &ctx)
 void
 ruleBannedInclude(Ctx &ctx)
 {
-    for (const IncludeDirective &inc : ctx.lx.includes) {
+    for (const IncludeDirective &inc : ctx.lxRef().includes) {
         if (inc.header == "bits/stdc++.h")
             ctx.report(inc.line, "banned-include", kRules[8].summary);
         else if (ctx.isHeader && inc.angled && inc.header == "iostream")
@@ -570,6 +610,33 @@ ruleBannedHeap(Ctx &ctx)
             ctx.report(t[i].line, "banned-heap", kRules[10].summary);
 }
 
+/**
+ * Enforce the suppression contract itself: every allow() must carry a
+ * trailing reason and may only name rules that exist. Reported
+ * directly (not via ctx.report) — a reasonless suppression must not
+ * be able to silence its own diagnostic.
+ */
+void
+ruleSuppressionReason(Ctx &ctx)
+{
+    const auto &comments = ctx.lxRef().comments;
+    for (int line = 1; line < static_cast<int>(comments.size()); ++line) {
+        AllowComment allow;
+        if (!parseAllow(comments[line], allow))
+            continue;
+        if (!allow.hasReason)
+            ctx.out.push_back(
+                {ctx.path, line, "suppression-reason",
+                 "allow() without a reason; write `// ursa-lint: "
+                 "allow(rule) <why this is sanctioned>`"});
+        for (const std::string &r : allow.rules)
+            if (!knownRule(r))
+                ctx.out.push_back({ctx.path, line, "suppression-reason",
+                                   "allow() names unknown rule '" + r +
+                                       "'"});
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -585,8 +652,31 @@ knownRule(const std::string &rule)
                        [&](const RuleInfo &r) { return rule == r.id; });
 }
 
+const char *
+ruleSummary(const std::string &rule)
+{
+    for (const RuleInfo &r : kRules)
+        if (rule == r.id)
+            return r.summary;
+    return "";
+}
+
+bool
+suppressedAt(const LexedFile &lx, int line, const std::string &rule)
+{
+    for (int l = line; l >= line - 1 && l >= 1; --l) {
+        AllowComment allow;
+        if (!parseAllow(commentOn(lx, l), allow) || !allow.hasReason)
+            continue;
+        if (std::find(allow.rules.begin(), allow.rules.end(), rule) !=
+            allow.rules.end())
+            return true;
+    }
+    return false;
+}
+
 std::vector<Violation>
-lintFile(const std::string &relPath, const std::string &source)
+lintFileLexed(const std::string &relPath, const LexedFile &lx)
 {
     Ctx ctx;
     ctx.path = relPath;
@@ -604,7 +694,7 @@ lintFile(const std::string &relPath, const std::string &source)
     const std::string ext =
         dot == std::string::npos ? "" : ctx.fileName.substr(dot);
     ctx.isHeader = ext == ".h" || ext == ".hpp";
-    ctx.lx = lex(source);
+    ctx.lxp = &lx;
 
     ruleWallClock(ctx);
     ruleRawRand(ctx);
@@ -617,14 +707,30 @@ lintFile(const std::string &relPath, const std::string &source)
     ruleBannedInclude(ctx);
     ruleMissingAnnotation(ctx);
     ruleBannedHeap(ctx);
+    ruleSuppressionReason(ctx);
 
-    std::sort(ctx.out.begin(), ctx.out.end(),
+    sortViolations(ctx.out);
+    return std::move(ctx.out);
+}
+
+std::vector<Violation>
+lintFile(const std::string &relPath, const std::string &source)
+{
+    const LexedFile lx = lex(source);
+    return lintFileLexed(relPath, lx);
+}
+
+void
+sortViolations(std::vector<Violation> &vs)
+{
+    std::sort(vs.begin(), vs.end(),
               [](const Violation &a, const Violation &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
                   if (a.line != b.line)
                       return a.line < b.line;
                   return a.rule < b.rule;
               });
-    return std::move(ctx.out);
 }
 
 } // namespace ursa::lint

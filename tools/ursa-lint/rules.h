@@ -2,8 +2,10 @@
  * @file
  * ursa-lint rule engine: the determinism rules ported from
  * scripts/lint_determinism.py plus the concurrency/hygiene rule
- * classes that needed a real tokenizer. See RULES in rules.cc for the
- * catalogue; DESIGN.md §9 documents scope and suppression policy.
+ * classes that needed a real tokenizer, and (since the whole-project
+ * pass) the catalogue entries for the cross-file rules implemented in
+ * project_rules.cc. See RULES in rules.cc for the catalogue;
+ * DESIGN.md §9/§11 document scope and suppression policy.
  */
 
 #ifndef URSA_TOOLS_LINT_RULES_H
@@ -38,15 +40,33 @@ const std::vector<RuleInfo> &ruleCatalogue();
 /** True iff `rule` is a known rule id. */
 bool knownRule(const std::string &rule);
 
+/** Catalogue summary for `rule` ("" if unknown). */
+const char *ruleSummary(const std::string &rule);
+
+/**
+ * True iff a `// ursa-lint: allow(<rule>[, ...]) <reason>` comment on
+ * `line` or the line above names `rule` *and* carries a non-empty
+ * reason after the paren group. A reasonless allow() suppresses
+ * nothing (and additionally fires the suppression-reason rule).
+ */
+bool suppressedAt(const LexedFile &lx, int line, const std::string &rule);
+
 /**
  * Lint one file. `relPath` is the path relative to the lint root
  * ('/'-separated) — its first component selects the layer scope (sim,
  * core, exec, ...) several rules key on. Suppressed violations
- * (`// ursa-lint: allow(rule)` on the line or the line above) are
- * already filtered out.
+ * (`// ursa-lint: allow(rule) reason` on the line or the line above)
+ * are already filtered out.
  */
 std::vector<Violation> lintFile(const std::string &relPath,
                                 const std::string &source);
+
+/** Same, over an already-lexed file (the parallel pass lexes once). */
+std::vector<Violation> lintFileLexed(const std::string &relPath,
+                                     const LexedFile &lx);
+
+/** Canonical ordering: path, then line, then rule. */
+void sortViolations(std::vector<Violation> &vs);
 
 } // namespace ursa::lint
 
