@@ -7,6 +7,7 @@
 #include "exec/thread_pool.h"
 #include "sim/client.h"
 #include "workload/arrival.h"
+#include "workload/generator.h"
 
 #include <cstdlib>
 #include <filesystem>
@@ -83,6 +84,132 @@ explorationFor(const PerfHarnessOptions &opts)
 {
     return opts.exploration ? *opts.exploration
                             : paperExploration(opts.seed);
+}
+
+/**
+ * The mutually-exclusive system handles of one deployment cell, alive
+ * until the cell's last cluster.run(). Firm's training client: even
+ * stopped, its next-arrival callback stays queued capturing `this`,
+ * so it must outlive every cluster.run() of the cell — it lives here,
+ * not in its switch case.
+ */
+struct Deployment
+{
+    std::unique_ptr<core::UrsaManager> ursa;
+    std::unique_ptr<baselines::Autoscaler> autoscaler;
+    std::unique_ptr<baselines::SinanModel> sinanModel;
+    std::unique_ptr<baselines::SinanScheduler> sinanScheduler;
+    std::unique_ptr<baselines::FirmController> firm;
+    std::unique_ptr<sim::OpenLoopClient> trainClient;
+    sim::SimTime measureStart = 0;
+
+    double decisionLatencyUs() const
+    {
+        if (ursa)
+            return ursa->deployDecisionLatencyUs().mean();
+        if (autoscaler)
+            return autoscaler->decisionLatencyUs().mean();
+        if (sinanScheduler)
+            return sinanScheduler->decisionLatencyUs().mean();
+        if (firm)
+            return firm->decisionLatencyUs().mean();
+        return 0.0;
+    }
+};
+
+/**
+ * Instantiate and prepare one system on an already-instantiated
+ * cluster: exploration/training/convergence before the measured
+ * window, under the canonical mix. `deployRps`/`deployMix` are the
+ * expected load the one-shot planners (Ursa) size for; the measurement
+ * client is the caller's.
+ */
+Deployment
+prepareSystem(sim::Cluster &cluster, const apps::AppSpec &app,
+              const std::string &tag, System system, double deployRps,
+              const std::vector<double> &deployMix, std::uint64_t seed,
+              const PerfHarnessOptions &opts)
+{
+    // Autoscalers start cold (1 replica) and converge from below — the
+    // regime where step scaling settles just under its threshold. The
+    // learned systems keep the configured defaults their training also
+    // started from, and Ursa applies its plan at deploy() anyway.
+    if (system == System::AutoA || system == System::AutoB) {
+        for (sim::ServiceId s = 0; s < cluster.numServices(); ++s)
+            cluster.service(s).setReplicas(1);
+    }
+
+    Deployment dep;
+    switch (system) {
+      case System::Ursa: {
+        const auto profile = cachedProfile(app, tag, explorationFor(opts));
+        dep.ursa =
+            std::make_unique<core::UrsaManager>(cluster, app, profile);
+        // Thresholds computed once at the start of the experiment
+        // (Sec. VII-E), from the expected load of this cell.
+        if (!dep.ursa->deploy(deployRps, deployMix))
+            throw std::runtime_error(std::string("Ursa infeasible on ") +
+                                     tag);
+        dep.measureStart = opts.warmup;
+        break;
+      }
+      case System::AutoA:
+      case System::AutoB: {
+        dep.autoscaler = std::make_unique<baselines::Autoscaler>(
+            cluster, system == System::AutoA ? baselines::autoAConfig()
+                                             : baselines::autoBConfig());
+        dep.autoscaler->start(0);
+        // Extra warmup lets step scaling converge from the cold start.
+        dep.measureStart = opts.warmup + 10 * sim::kMin;
+        break;
+      }
+      case System::Sinan: {
+        const auto samples =
+            cachedSinanSamples(app, tag, opts.sinanSamples, opts.seed);
+        const auto cfg = benchSinanConfig(app, opts.seed);
+        dep.sinanModel = std::make_unique<baselines::SinanModel>(app, cfg);
+        dep.sinanModel->train(samples);
+        dep.sinanScheduler = std::make_unique<baselines::SinanScheduler>(
+            cluster, app, *dep.sinanModel, cfg);
+        dep.sinanScheduler->start(0);
+        dep.measureStart = opts.warmup + 5 * sim::kMin;
+        break;
+      }
+      case System::Firm: {
+        baselines::FirmConfig cfg;
+        cfg.seed = opts.seed + 3;
+        dep.firm = std::make_unique<baselines::FirmController>(cluster,
+                                                               app, cfg);
+        // Online training under the canonical mix, then deploy.
+        dep.trainClient = std::make_unique<sim::OpenLoopClient>(
+            cluster, workload::constantRate(deployRps),
+            sim::fixedMix(app.exploreMix), seed + 11);
+        dep.trainClient->start(0);
+        dep.firm->trainOnline(opts.firmTrainSteps);
+        dep.trainClient->stop();
+        dep.firm->start(cluster.events().now());
+        dep.measureStart = cluster.events().now() + opts.warmup;
+        break;
+      }
+    }
+    return dep;
+}
+
+/** Measured-window metrics of a finished cell. */
+CellResult
+collectResult(const sim::Cluster &cluster, const Deployment &dep,
+              sim::SimTime measureStart, sim::SimTime measureEnd)
+{
+    CellResult result;
+    result.violationRate =
+        cluster.metrics().overallSlaViolationRate(measureStart,
+                                                  measureEnd);
+    result.cpuCores = 0.0;
+    for (sim::ServiceId s = 0; s < cluster.numServices(); ++s)
+        result.cpuCores +=
+            cluster.metrics().meanAllocation(s, measureStart, measureEnd);
+    result.decisionLatencyUs = dep.decisionLatencyUs();
+    return result;
 }
 
 } // namespace
@@ -318,109 +445,62 @@ runCell(System system, AppId appId, LoadKind load,
 
     sim::Cluster cluster(seed);
     app.instantiate(cluster);
-    // Autoscalers start cold (1 replica) and converge from below — the
-    // regime where step scaling settles just under its threshold. The
-    // learned systems keep the configured defaults their training also
-    // started from, and Ursa applies its plan at deploy() anyway.
-    if (system == System::AutoA || system == System::AutoB) {
-        for (sim::ServiceId s = 0; s < cluster.numServices(); ++s)
-            cluster.service(s).setReplicas(1);
-    }
 
-    // Prep phase (before the measured window), under the canonical mix.
-    std::unique_ptr<core::UrsaManager> ursa;
-    std::unique_ptr<baselines::Autoscaler> autoscaler;
-    std::unique_ptr<baselines::SinanModel> sinanModel;
-    std::unique_ptr<baselines::SinanScheduler> sinanScheduler;
-    std::unique_ptr<baselines::FirmController> firm;
-    // Firm's training client: even stopped, its next-arrival callback
-    // stays queued capturing `this`, so it must outlive every
-    // cluster.run() below — not just its switch case.
-    std::unique_ptr<sim::OpenLoopClient> trainClient;
-
-    sim::SimTime measureStart = 0;
-
-    switch (system) {
-      case System::Ursa: {
-        const auto profile = cachedProfile(app, tag, explorationFor(opts));
-        ursa = std::make_unique<core::UrsaManager>(cluster, app, profile);
-        const auto mix =
-            cellLoad(app, appId, load, 0, opts.measure).mix;
-        // Thresholds computed once at the start of the experiment
-        // (Sec. VII-E), from the expected load of this cell.
-        if (!ursa->deploy(app.nominalRps, mix))
-            throw std::runtime_error(std::string("Ursa infeasible on ") +
-                                     tag);
-        measureStart = opts.warmup;
-        break;
-      }
-      case System::AutoA:
-      case System::AutoB: {
-        autoscaler = std::make_unique<baselines::Autoscaler>(
-            cluster, system == System::AutoA ? baselines::autoAConfig()
-                                             : baselines::autoBConfig());
-        autoscaler->start(0);
-        // Extra warmup lets step scaling converge from the cold start.
-        measureStart = opts.warmup + 10 * sim::kMin;
-        break;
-      }
-      case System::Sinan: {
-        const auto samples =
-            cachedSinanSamples(app, tag, opts.sinanSamples, opts.seed);
-        const auto cfg = benchSinanConfig(app, opts.seed);
-        sinanModel = std::make_unique<baselines::SinanModel>(app, cfg);
-        sinanModel->train(samples);
-        sinanScheduler = std::make_unique<baselines::SinanScheduler>(
-            cluster, app, *sinanModel, cfg);
-        sinanScheduler->start(0);
-        measureStart = opts.warmup + 5 * sim::kMin;
-        break;
-      }
-      case System::Firm: {
-        baselines::FirmConfig cfg;
-        cfg.seed = opts.seed + 3;
-        firm = std::make_unique<baselines::FirmController>(cluster, app,
-                                                           cfg);
-        // Online training under the canonical mix, then deploy.
-        trainClient = std::make_unique<sim::OpenLoopClient>(
-            cluster, workload::constantRate(app.nominalRps),
-            sim::fixedMix(app.exploreMix), seed + 11);
-        trainClient->start(0);
-        firm->trainOnline(opts.firmTrainSteps);
-        trainClient->stop();
-        firm->start(cluster.events().now());
-        measureStart = cluster.events().now() + opts.warmup;
-        break;
-      }
-    }
+    // Prep phase: Ursa sizes its one-shot plan for this cell's mix at
+    // the nominal rate.
+    const auto deployMix = cellLoad(app, appId, load, 0, opts.measure).mix;
+    const Deployment dep = prepareSystem(cluster, app, tag, system,
+                                         app.nominalRps, deployMix,
+                                         seed, opts);
 
     // Measurement phase.
     const CellLoad cell =
-        cellLoad(app, appId, load, measureStart, opts.measure);
+        cellLoad(app, appId, load, dep.measureStart, opts.measure);
     sim::OpenLoopClient client(cluster, cell.rate,
                                sim::fixedMix(cell.mix), seed + 23);
     client.start(cluster.events().now());
-    const sim::SimTime measureEnd = measureStart + opts.measure;
+    const sim::SimTime measureEnd = dep.measureStart + opts.measure;
     cluster.run(measureEnd);
+    return collectResult(cluster, dep, dep.measureStart, measureEnd);
+}
 
-    CellResult result;
-    result.violationRate =
-        cluster.metrics().overallSlaViolationRate(measureStart,
-                                                  measureEnd);
-    result.cpuCores = 0.0;
-    for (sim::ServiceId s = 0; s < cluster.numServices(); ++s)
-        result.cpuCores +=
-            cluster.metrics().meanAllocation(s, measureStart, measureEnd);
-    if (ursa)
-        result.decisionLatencyUs = ursa->deployDecisionLatencyUs().mean();
-    else if (autoscaler)
-        result.decisionLatencyUs = autoscaler->decisionLatencyUs().mean();
-    else if (sinanScheduler)
-        result.decisionLatencyUs =
-            sinanScheduler->decisionLatencyUs().mean();
-    else if (firm)
-        result.decisionLatencyUs = firm->decisionLatencyUs().mean();
-    return result;
+CellResult
+runTraceCell(System system, AppId appId,
+             const workload::ArrivalTrace &trace,
+             const PerfHarnessOptions &opts)
+{
+    if (trace.entries.empty())
+        throw std::runtime_error("runTraceCell on an empty trace");
+
+    const apps::AppSpec app = makeApp(appId);
+    const std::string tag = toString(appId);
+    const std::uint64_t seed = opts.seed +
+                               131 * static_cast<int>(system) +
+                               7 * static_cast<int>(appId) + 53;
+
+    sim::Cluster cluster(seed);
+    app.instantiate(cluster);
+
+    // Deploy thresholds come from the trace itself: its realized mean
+    // rate and class mix (classes it never exercises get weight 0).
+    std::vector<double> mix = trace.classMix();
+    if (mix.size() > static_cast<std::size_t>(cluster.numClasses()))
+        throw std::runtime_error(
+            std::string("trace uses request classes ") + tag +
+            " does not define");
+    mix.resize(static_cast<std::size_t>(cluster.numClasses()), 0.0);
+
+    const Deployment dep = prepareSystem(cluster, app, tag, system,
+                                         trace.meanRate(), mix, seed,
+                                         opts);
+
+    // Measurement phase: loop the trace so it covers warmup plus the
+    // measured window regardless of its recorded duration.
+    workload::TraceReplayClient client(cluster, trace, /*loop=*/true);
+    client.start(cluster.events().now());
+    const sim::SimTime measureEnd = dep.measureStart + opts.measure;
+    cluster.run(measureEnd);
+    return collectResult(cluster, dep, dep.measureStart, measureEnd);
 }
 
 std::vector<GridRow>

@@ -17,6 +17,7 @@
 #include "baselines/sinan.h"
 #include "core/explorer.h"
 #include "core/profile.h"
+#include "workload/trace.h"
 
 #include <optional>
 #include <string>
@@ -127,6 +128,18 @@ struct PerfHarnessOptions
  */
 CellResult runCell(System system, AppId app, LoadKind load,
                    const PerfHarnessOptions &opts);
+
+/**
+ * Run one deployment cell driven by a recorded arrival trace instead
+ * of a synthetic load profile. The trace loops for warmup plus the
+ * measured window; deploy-time thresholds come from the trace's own
+ * mean rate and class mix (classes it never exercises get weight 0).
+ * Throws if the trace is empty or uses classes the app lacks.
+ * Deterministic per (system, app, trace, opts.seed).
+ */
+CellResult runTraceCell(System system, AppId app,
+                        const workload::ArrivalTrace &trace,
+                        const PerfHarnessOptions &opts);
 
 /**
  * All cells of the Fig. 11/12 grid, cached on disk so the two bench

@@ -4,6 +4,7 @@
 #include "sim/client.h"
 #include "sim/time.h"
 
+#include <limits>
 #include <utility>
 
 namespace ursa::workload
@@ -38,6 +39,14 @@ burstRate(double baseRps, double burstFrac, sim::SimTime burstStart,
 {
     URSA_CHECK(burstFrac >= 0.0, "workload.arrival",
                "burst profile with a negative burst fraction");
+    URSA_CHECK(burstStart >= 0, "workload.arrival",
+               "burst profile with a negative burst start");
+    URSA_CHECK(burstLen >= 0, "workload.arrival",
+               "burst profile with a negative burst length");
+    URSA_CHECK(burstLen <=
+                   std::numeric_limits<sim::SimTime>::max() - burstStart,
+               "workload.arrival",
+               "burst window end overflows the simulation clock");
     return [=](sim::SimTime t) {
         if (t >= burstStart && t < burstStart + burstLen)
             return baseRps * (1.0 + burstFrac);
@@ -56,6 +65,8 @@ scaled(sim::RateProfile inner, double factor)
 sim::RateProfile
 shifted(sim::RateProfile inner, sim::SimTime shift)
 {
+    URSA_CHECK(shift >= 0, "workload.arrival",
+               "profile shifted by a negative offset");
     return [inner = std::move(inner), shift](sim::SimTime t) {
         return inner(t < shift ? 0 : t - shift);
     };

@@ -1,0 +1,139 @@
+#include "workload/arrival_curve.h"
+
+#include "check/check.h"
+#include "sim/time.h"
+#include "sim/types.h"
+#include "stats/rng.h"
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ursa::workload
+{
+
+std::vector<RbSegment>
+ArrivalCurve::rb() const
+{
+    std::vector<RbSegment> segs;
+    if (points.empty())
+        return segs;
+    if (points.size() == 1) {
+        const double r = 1e6 * static_cast<double>(points[0].maxArrivals) /
+                         static_cast<double>(points[0].window);
+        segs.push_back({r, 0.0});
+        return segs;
+    }
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+        const double dw =
+            static_cast<double>(points[i + 1].window - points[i].window);
+        const double dc = static_cast<double>(points[i + 1].maxArrivals) -
+                          static_cast<double>(points[i].maxArrivals);
+        const double ratePerUs = dc / dw;
+        const double b = static_cast<double>(points[i].maxArrivals) -
+                         ratePerUs * static_cast<double>(points[i].window);
+        segs.push_back({1e6 * ratePerUs, b});
+    }
+    return segs;
+}
+
+double
+ArrivalCurve::sustainedRate() const
+{
+    const auto segs = rb();
+    return segs.empty() ? 0.0 : segs.back().ratePerSec;
+}
+
+double
+ArrivalCurve::maxBurst() const
+{
+    double b = 0.0;
+    for (const RbSegment &s : rb())
+        b = std::max(b, s.burst);
+    return b;
+}
+
+std::vector<sim::SimTime>
+defaultCurveWindows()
+{
+    return {sim::kMsec,      10 * sim::kMsec, 100 * sim::kMsec,
+            sim::kSec,       10 * sim::kSec,  sim::kMin};
+}
+
+ArrivalCurve
+extractCurve(const ArrivalTrace &trace,
+             const std::vector<sim::SimTime> &windows)
+{
+    std::vector<sim::SimTime> ws = windows;
+    std::sort(ws.begin(), ws.end());
+    ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
+    URSA_CHECK(ws.empty() || ws.front() > 0, "workload.arrival_curve",
+               "arrival-curve window must be positive");
+
+    ArrivalCurve curve;
+    curve.points.reserve(ws.size());
+    const auto &es = trace.entries;
+    for (const sim::SimTime w : ws) {
+        // Max count in any half-open (t, t+w]: anchor the window's
+        // right edge at each arrival j and slide the left pointer.
+        std::uint64_t best = 0;
+        std::size_t i = 0;
+        for (std::size_t j = 0; j < es.size(); ++j) {
+            while (es[i].at <= es[j].at - w)
+                ++i;
+            best = std::max(best, static_cast<std::uint64_t>(j - i + 1));
+        }
+        curve.points.push_back({w, best});
+    }
+    return curve;
+}
+
+ArrivalCurve
+extractCurve(const ArrivalTrace &trace)
+{
+    return extractCurve(trace, defaultCurveWindows());
+}
+
+ArrivalTrace
+synthesizeFromCurve(const ArrivalCurve &curve, sim::SimTime duration,
+                    stats::Rng &rng,
+                    const std::vector<double> &classWeights)
+{
+    URSA_CHECK(!curve.points.empty(), "workload.arrival_curve",
+               "re-synthesis from an empty arrival curve");
+    ArrivalTrace trace;
+    for (const CurvePoint &p : curve.points)
+        if (p.maxArrivals == 0)
+            return trace; // some window admits no arrivals at all
+
+    std::vector<sim::SimTime> times;
+    sim::SimTime t = 0;
+    while (true) {
+        // Earliest strictly-later microsecond at which adding an
+        // arrival keeps every (window, maxArrivals) constraint: the
+        // c-th most recent arrival must have left the window, i.e.
+        // t >= times[n - c] + w.
+        sim::SimTime next = t + 1;
+        const std::size_t n = times.size();
+        for (const CurvePoint &p : curve.points) {
+            if (n >= p.maxArrivals) {
+                const sim::SimTime bound =
+                    times[n - static_cast<std::size_t>(p.maxArrivals)] +
+                    p.window;
+                next = std::max(next, bound);
+            }
+        }
+        if (next > duration)
+            break;
+        times.push_back(next);
+        t = next;
+    }
+    trace.entries.reserve(times.size());
+    for (const sim::SimTime at : times)
+        trace.entries.push_back(
+            {at,
+             static_cast<sim::ClassId>(rng.weightedChoice(classWeights))});
+    return trace;
+}
+
+} // namespace ursa::workload

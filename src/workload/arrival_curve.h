@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Empirical arrival curves, WorkloadCompactor style. An arrival curve
+ * is the tight upper envelope of a trace's burstiness: for each
+ * window size w, the maximum number of arrivals observed in any
+ * half-open interval (t, t+w]. Consecutive points induce the (r, b)
+ * rate-burst token-bucket segments that network calculus uses: over
+ * any span the trace admits at most b + r*span arrivals. Curves are a
+ * compact summary of a workload's burst structure — and enough to
+ * re-synthesize a trace with the same structure (synthesizeFromCurve),
+ * which together with scaleTrace makes "this trace, 100x" a one-liner.
+ */
+
+#ifndef URSA_WORKLOAD_ARRIVAL_CURVE_H
+#define URSA_WORKLOAD_ARRIVAL_CURVE_H
+
+#include "sim/time.h"
+#include "stats/rng.h"
+#include "workload/trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ursa::workload
+{
+
+/** One curve point: at most `maxArrivals` in any window this long. */
+struct CurvePoint
+{
+    sim::SimTime window;       ///< window length (us), > 0
+    std::uint64_t maxArrivals; ///< max arrivals in any such window
+
+    friend bool operator==(const CurvePoint &a, const CurvePoint &b)
+    {
+        return a.window == b.window && a.maxArrivals == b.maxArrivals;
+    }
+};
+
+/** One (r, b) token-bucket segment of the envelope. */
+struct RbSegment
+{
+    double ratePerSec; ///< r: sustained rate over this window range
+    double burst;      ///< b: extrapolated burst allowance at w = 0
+};
+
+/**
+ * The empirical arrival curve of a trace over a fixed set of windows.
+ * Points are sorted by window; maxArrivals is nondecreasing in the
+ * window length by construction.
+ */
+struct ArrivalCurve
+{
+    std::vector<CurvePoint> points;
+
+    /**
+     * (r, b) segments between consecutive points: segment i has
+     * r = delta(maxArrivals) / delta(window) and b chosen so the line
+     * passes through point i. A single-point curve yields one segment
+     * with r = maxArrivals/window and b = 0.
+     */
+    std::vector<RbSegment> rb() const;
+
+    /** Sustained rate (req/s) of the last (widest-window) segment. */
+    double sustainedRate() const;
+
+    /** Largest burst allowance over all segments. */
+    double maxBurst() const;
+};
+
+/** Default window ladder: 1ms, 10ms, 100ms, 1s, 10s, 1min. */
+std::vector<sim::SimTime> defaultCurveWindows();
+
+/**
+ * Extract the empirical curve of `trace` over the given windows
+ * (deduplicated and sorted; each must be > 0). O(entries x windows)
+ * by a sliding two-pointer per window.
+ */
+ArrivalCurve extractCurve(const ArrivalTrace &trace,
+                          const std::vector<sim::SimTime> &windows);
+
+/** Extract over defaultCurveWindows(). */
+ArrivalCurve extractCurve(const ArrivalTrace &trace);
+
+/**
+ * Re-synthesize a trace from a curve: greedy earliest-feasible
+ * placement emits each next arrival at the first microsecond that
+ * violates no curve constraint, so the result saturates the envelope
+ * — its own empirical curve matches the source curve from above
+ * (never exceeds it) and from below (reaches it at every window the
+ * greedy schedule can saturate). Timestamps are strictly increasing;
+ * classes are drawn from `classWeights` with `rng` (pass the source
+ * trace's classMix() to preserve the mix). Deterministic given the
+ * rng seed.
+ */
+ArrivalTrace synthesizeFromCurve(const ArrivalCurve &curve,
+                                 sim::SimTime duration, stats::Rng &rng,
+                                 const std::vector<double> &classWeights);
+
+} // namespace ursa::workload
+
+#endif // URSA_WORKLOAD_ARRIVAL_CURVE_H

@@ -1,0 +1,160 @@
+#include "workload/csv.h"
+
+#include "sim/time.h"
+#include "sim/types.h"
+#include "workload/trace.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ursa::workload
+{
+
+namespace
+{
+
+void
+setError(CsvError *error, std::size_t line, std::string text,
+         std::string message)
+{
+    if (!error)
+        return;
+    error->line = line;
+    error->text = std::move(text);
+    error->message = std::move(message);
+}
+
+/** Parse a strictly-decimal nonnegative integer filling the view. */
+template <typename Int>
+bool
+parseField(std::string_view field, Int &out)
+{
+    if (field.empty())
+        return false;
+    // from_chars accepts a leading '-'; the schema does not.
+    if (field.front() == '-' || field.front() == '+')
+        return false;
+    const char *end = field.data() + field.size();
+    const auto res = std::from_chars(field.data(), end, out, 10);
+    return res.ec == std::errc{} && res.ptr == end;
+}
+
+} // namespace
+
+std::string
+CsvError::format() const
+{
+    std::ostringstream os;
+    if (line == 0)
+        os << message;
+    else
+        os << "line " << line << ": '" << text << "': " << message;
+    return os.str();
+}
+
+std::optional<ArrivalTrace>
+parseTraceCsv(std::istream &in, CsvError *error)
+{
+    ArrivalTrace trace;
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawData = false;
+    sim::SimTime prev = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::string_view v(line);
+        if (!v.empty() && v.back() == '\r')
+            v.remove_suffix(1);
+        if (v.empty() || v.front() == '#')
+            continue;
+        if (!sawData && v == kTraceCsvHeader)
+            continue;
+        sawData = true;
+
+        const std::size_t comma = v.find(',');
+        if (comma == std::string_view::npos) {
+            setError(error, lineNo, line, "expected 'arrival_time_us,class'");
+            return std::nullopt;
+        }
+        if (v.find(',', comma + 1) != std::string_view::npos) {
+            setError(error, lineNo, line, "more than two fields");
+            return std::nullopt;
+        }
+        sim::SimTime at = 0;
+        if (!parseField(v.substr(0, comma), at)) {
+            setError(error, lineNo, line,
+                     "arrival time is not a nonnegative integer");
+            return std::nullopt;
+        }
+        sim::ClassId cls = 0;
+        if (!parseField(v.substr(comma + 1), cls)) {
+            setError(error, lineNo, line,
+                     "class is not a nonnegative integer");
+            return std::nullopt;
+        }
+        if (at < prev) {
+            setError(error, lineNo, line,
+                     "arrival times must be nondecreasing");
+            return std::nullopt;
+        }
+        prev = at;
+        trace.entries.push_back({at, cls});
+    }
+    if (in.bad()) {
+        setError(error, 0, "", "I/O error while reading trace");
+        return std::nullopt;
+    }
+    return trace;
+}
+
+std::optional<ArrivalTrace>
+parseTraceCsvString(const std::string &text, CsvError *error)
+{
+    std::istringstream in(text);
+    return parseTraceCsv(in, error);
+}
+
+std::optional<ArrivalTrace>
+loadTraceCsv(const std::string &path, CsvError *error)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        setError(error, 0, "", "cannot open trace file: " + path);
+        return std::nullopt;
+    }
+    return parseTraceCsv(in, error);
+}
+
+void
+writeTraceCsv(std::ostream &out, const ArrivalTrace &trace)
+{
+    out << kTraceCsvHeader << '\n';
+    for (const TraceEntry &e : trace.entries)
+        out << e.at << ',' << e.classId << '\n';
+}
+
+bool
+saveTraceCsv(const std::string &path, const ArrivalTrace &trace,
+             CsvError *error)
+{
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        setError(error, 0, "", "cannot create trace file: " + path);
+        return false;
+    }
+    writeTraceCsv(out, trace);
+    out.flush();
+    if (!out) {
+        setError(error, 0, "", "I/O error while writing trace: " + path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace ursa::workload

@@ -1,10 +1,12 @@
 #include "workload/trace.h"
 
 #include "check/check.h"
-#include "sim/client.h"
-#include "sim/cluster.h"
 #include "sim/time.h"
+#include "sim/types.h"
 #include "stats/rng.h"
+
+#include <algorithm>
+#include <cmath>
 
 namespace ursa::workload
 {
@@ -22,9 +24,26 @@ ArrivalTrace::countOf(sim::ClassId c) const
 double
 ArrivalTrace::meanRate() const
 {
-    if (entries.size() < 2 || duration() == 0)
+    // Guard exactly where the estimator is undefined: duration() == 0.
+    // A single-entry trace with a positive timestamp has a well-defined
+    // rate (1 arrival over its duration) and must not report 0.
+    if (duration() == 0)
         return 0.0;
     return static_cast<double>(entries.size()) / sim::toSec(duration());
+}
+
+std::vector<double>
+ArrivalTrace::classMix() const
+{
+    sim::ClassId maxClass = 0;
+    for (const TraceEntry &e : entries)
+        maxClass = std::max(maxClass, e.classId);
+    std::vector<double> mix(entries.empty() ? 0 : maxClass + 1, 0.0);
+    for (const TraceEntry &e : entries)
+        mix[static_cast<std::size_t>(e.classId)] += 1.0;
+    for (double &w : mix)
+        w /= static_cast<double>(entries.size());
+    return mix;
 }
 
 ArrivalTrace
@@ -35,9 +54,16 @@ makePoissonTrace(stats::Rng &rng, sim::SimTime duration, double rps,
                "Poisson trace with a non-positive rate");
     ArrivalTrace trace;
     const double meanGapUs = 1e6 / rps;
+    // Accumulate gaps in floating point and round once per arrival:
+    // rounding errors do not compound, so the realized rate stays
+    // unbiased. The strictly-increasing bump only fires when two
+    // arrivals round onto the same microsecond, and the accumulator
+    // (not the bumped clock) stays authoritative afterwards.
+    double tExact = 0.0;
     sim::SimTime t = 0;
     while (true) {
-        t += static_cast<sim::SimTime>(rng.exponential(meanGapUs)) + 1;
+        tExact += rng.exponential(meanGapUs);
+        t = std::max(t + 1, static_cast<sim::SimTime>(std::llround(tExact)));
         if (t > duration)
             break;
         trace.entries.push_back(
@@ -46,46 +72,22 @@ makePoissonTrace(stats::Rng &rng, sim::SimTime duration, double rps,
     return trace;
 }
 
-TraceReplayClient::TraceReplayClient(sim::Cluster &cluster,
-                                     ArrivalTrace trace, bool loop,
-                                     double rateScale)
-    : cluster_(cluster), trace_(std::move(trace)), loop_(loop),
-      rateScale_(rateScale)
+ArrivalTrace
+scaleTrace(const ArrivalTrace &trace, double factor)
 {
-    URSA_CHECK(rateScale_ > 0.0, "workload.trace",
-               "trace replay with a non-positive rate scale");
-}
-
-void
-TraceReplayClient::start(sim::SimTime at)
-{
-    if (trace_.entries.empty())
-        return;
-    running_ = true;
-    scheduleEntry(0, at);
-}
-
-void
-TraceReplayClient::scheduleEntry(std::size_t idx, sim::SimTime base)
-{
-    const TraceEntry &e = trace_.entries[idx];
-    const sim::SimTime when =
-        base + static_cast<sim::SimTime>(
-                   static_cast<double>(e.at) / rateScale_);
-    cluster_.events().schedule(
-        std::max(when, cluster_.events().now()), [this, idx, base] {
-            if (!running_)
-                return;
-            cluster_.submit(trace_.entries[idx].classId);
-            ++submitted_;
-            if (idx + 1 < trace_.entries.size()) {
-                scheduleEntry(idx + 1, base);
-            } else if (loop_) {
-                const sim::SimTime span = static_cast<sim::SimTime>(
-                    static_cast<double>(trace_.duration()) / rateScale_);
-                scheduleEntry(0, base + span);
-            }
-        });
+    URSA_CHECK(factor > 0.0, "workload.trace",
+               "trace scaling with a non-positive factor");
+    ArrivalTrace out;
+    out.entries.reserve(trace.entries.size());
+    sim::SimTime prev = 0;
+    for (const TraceEntry &e : trace.entries) {
+        const sim::SimTime at = std::max(
+            prev, static_cast<sim::SimTime>(
+                      std::llround(static_cast<double>(e.at) / factor)));
+        out.entries.push_back({at, e.classId});
+        prev = at;
+    }
+    return out;
 }
 
 } // namespace ursa::workload

@@ -3,14 +3,15 @@
  * Arrival traces: a recorded sequence of (time, class) arrivals that
  * can be replayed deterministically. Ursa's exploration (Algorithm 1)
  * "replays the workload trace on the profiled microservice"; these
- * types are that trace.
+ * types are that trace. Traces can be synthesized (makePoissonTrace,
+ * workload/generator.h), loaded from CSV (workload/csv.h), summarized
+ * as an arrival curve and re-synthesized (workload/arrival_curve.h),
+ * and rate-scaled in place (scaleTrace).
  */
 
 #ifndef URSA_WORKLOAD_TRACE_H
 #define URSA_WORKLOAD_TRACE_H
 
-#include "sim/client.h"
-#include "sim/cluster.h"
 #include "sim/time.h"
 #include "sim/types.h"
 #include "stats/rng.h"
@@ -25,9 +26,18 @@ struct TraceEntry
 {
     sim::SimTime at;
     sim::ClassId classId;
+
+    friend bool operator==(const TraceEntry &a, const TraceEntry &b)
+    {
+        return a.at == b.at && a.classId == b.classId;
+    }
 };
 
-/** A deterministic arrival trace. */
+/**
+ * A deterministic arrival trace. Entries are ordered by nondecreasing
+ * time; synthesized traces keep times strictly increasing, but traces
+ * loaded from real systems may carry ties.
+ */
 struct ArrivalTrace
 {
     std::vector<TraceEntry> entries;
@@ -41,51 +51,45 @@ struct ArrivalTrace
     /** Arrivals of a given class. */
     std::size_t countOf(sim::ClassId c) const;
 
-    /** Overall requests/second across the trace. */
+    /**
+     * Overall requests/second across the trace, estimated as
+     * entries.size() / duration() — the count over the span from the
+     * trace origin (t = 0) to the last arrival. Returns 0.0 exactly
+     * when duration() is 0 (empty trace, or every arrival at t = 0),
+     * the one case where the estimator is undefined.
+     */
     double meanRate() const;
+
+    /** Per-class arrival fractions (weights over 0..maxClass). */
+    std::vector<double> classMix() const;
+
+    friend bool operator==(const ArrivalTrace &a, const ArrivalTrace &b)
+    {
+        return a.entries == b.entries;
+    }
 };
 
 /**
  * Synthesize a Poisson trace of the given duration, total rate, and
- * class mix (weights over class ids 0..n-1).
+ * class mix (weights over class ids 0..n-1). Gaps are drawn in
+ * floating point and accumulated before rounding to the integer
+ * microsecond clock, so the realized rate tracks `rps` without
+ * systematic bias; timestamps are kept strictly increasing, which
+ * caps the realizable rate at 1 arrival/us.
  */
 ArrivalTrace makePoissonTrace(stats::Rng &rng, sim::SimTime duration,
                               double rps,
                               const std::vector<double> &classWeights);
 
 /**
- * Replays a trace into a cluster, optionally looping and scaling the
- * inter-arrival spacing.
+ * Rate-scale a trace: timestamps become round(at / factor), so
+ * factor > 1 compresses time (factor x the rate with the same arrival
+ * structure — "this trace x 100" is scaleTrace(t, 100)) and factor < 1
+ * stretches it. Class labels are preserved. Compression can round
+ * distinct timestamps onto the same microsecond; the result is
+ * nondecreasing but not necessarily strictly increasing.
  */
-class TraceReplayClient
-{
-  public:
-    /**
-     * @param loop When true, the trace restarts after its last entry.
-     * @param rateScale >1 compresses time (higher load), <1 stretches.
-     */
-    TraceReplayClient(sim::Cluster &cluster, ArrivalTrace trace,
-                      bool loop = false, double rateScale = 1.0);
-
-    /** Begin replay at absolute time `at`. */
-    void start(sim::SimTime at = 0);
-
-    /** Stop issuing new arrivals. */
-    void stop() { running_ = false; }
-
-    /** Requests submitted so far. */
-    std::uint64_t submitted() const { return submitted_; }
-
-  private:
-    void scheduleEntry(std::size_t idx, sim::SimTime base);
-
-    sim::Cluster &cluster_;
-    ArrivalTrace trace_;
-    bool loop_;
-    double rateScale_;
-    bool running_ = false;
-    std::uint64_t submitted_ = 0;
-};
+ArrivalTrace scaleTrace(const ArrivalTrace &trace, double factor);
 
 } // namespace ursa::workload
 

@@ -2,7 +2,11 @@
 
 #include "workload/arrival.h"
 
+#include "check/check.h"
+
 #include <gtest/gtest.h>
+
+#include <limits>
 
 namespace
 {
@@ -43,6 +47,45 @@ TEST(Arrival, BurstWindow)
     EXPECT_DOUBLE_EQ(p(10 * kMin), 450.0);
     EXPECT_DOUBLE_EQ(p(14 * kMin), 450.0);
     EXPECT_DOUBLE_EQ(p(15 * kMin), 200.0);
+}
+
+TEST(Arrival, BurstRejectsNegativeStart)
+{
+    check::ScopedCapture trap;
+    burstRate(100.0, 0.5, -kMin, kMin);
+    EXPECT_TRUE(trap.sawComponent("workload.arrival"));
+}
+
+TEST(Arrival, BurstRejectsNegativeLength)
+{
+    check::ScopedCapture trap;
+    burstRate(100.0, 0.5, 10 * kMin, -kMin);
+    EXPECT_TRUE(trap.sawComponent("workload.arrival"));
+}
+
+TEST(Arrival, BurstRejectsWindowEndOverflow)
+{
+    // burstStart + burstLen would wrap negative and silently disable
+    // (or invert) the burst window.
+    check::ScopedCapture trap;
+    burstRate(100.0, 0.5, std::numeric_limits<SimTime>::max() - kMin,
+              2 * kMin);
+    EXPECT_TRUE(trap.sawComponent("workload.arrival"));
+}
+
+TEST(Arrival, BurstAcceptsBoundaryWindow)
+{
+    check::ScopedCapture trap;
+    burstRate(100.0, 0.5, std::numeric_limits<SimTime>::max() - kMin,
+              kMin);
+    EXPECT_TRUE(trap.empty());
+}
+
+TEST(Arrival, ShiftedRejectsNegativeShift)
+{
+    check::ScopedCapture trap;
+    shifted(constantRate(100.0), -kMin);
+    EXPECT_TRUE(trap.sawComponent("workload.arrival"));
 }
 
 TEST(Arrival, ScaledProfile)

@@ -1,0 +1,184 @@
+/** @file Tests for arrival-curve extraction and re-synthesis. */
+
+#include "workload/arrival_curve.h"
+
+#include "workload/arrival.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/client.h"
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::workload;
+using sim::kMsec;
+using sim::kSec;
+using sim::SimTime;
+
+TEST(ArrivalCurve, ExtractOnAHandBuiltTrace)
+{
+    ArrivalTrace t;
+    t.entries = {{10, 0}, {20, 0}, {30, 0}, {1000, 0}};
+    const auto curve = extractCurve(t, {5, 25, 2000});
+    ASSERT_EQ(curve.points.size(), 3u);
+    EXPECT_EQ(curve.points[0].window, 5);
+    EXPECT_EQ(curve.points[0].maxArrivals, 1u); // gaps of 10 > 5
+    EXPECT_EQ(curve.points[1].window, 25);
+    EXPECT_EQ(curve.points[1].maxArrivals, 3u); // (5, 30] holds 3
+    EXPECT_EQ(curve.points[2].maxArrivals, 4u); // whole trace
+}
+
+TEST(ArrivalCurve, WindowsAreSortedAndDeduplicated)
+{
+    ArrivalTrace t;
+    t.entries = {{10, 0}, {20, 0}};
+    const auto curve = extractCurve(t, {100, 5, 100, 50});
+    ASSERT_EQ(curve.points.size(), 3u);
+    EXPECT_EQ(curve.points[0].window, 5);
+    EXPECT_EQ(curve.points[1].window, 50);
+    EXPECT_EQ(curve.points[2].window, 100);
+}
+
+TEST(ArrivalCurve, MaxArrivalsIsNondecreasingInWindow)
+{
+    stats::Rng rng(41);
+    const auto t = makePoissonTrace(rng, 30 * kSec, 800.0, {1.0});
+    const auto curve = extractCurve(t);
+    for (std::size_t i = 1; i < curve.points.size(); ++i)
+        EXPECT_GE(curve.points[i].maxArrivals,
+                  curve.points[i - 1].maxArrivals);
+}
+
+TEST(ArrivalCurve, RbSegmentsOfAPeriodicTrace)
+{
+    // One arrival per ms for 10 s: every window holds window/1ms
+    // arrivals, so each segment has r = 1000/s and b ~ 0.
+    ArrivalTrace t;
+    for (int i = 1; i <= 10000; ++i)
+        t.entries.push_back({i * kMsec, 0});
+    const auto curve = extractCurve(t, {10 * kMsec, 100 * kMsec, kSec});
+    const auto segs = curve.rb();
+    ASSERT_EQ(segs.size(), 2u);
+    for (const auto &s : segs) {
+        EXPECT_NEAR(s.ratePerSec, 1000.0, 1.0);
+        EXPECT_NEAR(s.burst, 0.0, 1.0);
+    }
+    EXPECT_NEAR(curve.sustainedRate(), 1000.0, 1.0);
+}
+
+TEST(ArrivalCurve, BurstShowsUpAsPositiveB)
+{
+    // A 50-arrival burst at t=1s on top of a 100/s baseline.
+    ProfileGenerator gen(constantRate(100.0), sim::fixedMix({1.0}), 5);
+    auto t = recordTrace(gen, 10 * kSec);
+    std::vector<TraceEntry> burst;
+    for (int i = 0; i < 50; ++i)
+        burst.push_back({kSec + i * 100, 0});
+    t.entries.insert(t.entries.end(), burst.begin(), burst.end());
+    std::sort(t.entries.begin(), t.entries.end(),
+              [](const TraceEntry &a, const TraceEntry &b) {
+                  return a.at < b.at;
+              });
+    const auto curve = extractCurve(t, {10 * kMsec, kSec, 10 * kSec});
+    EXPECT_GE(curve.maxBurst(), 40.0);
+}
+
+TEST(ArrivalCurve, SynthesisRespectsAndSaturatesTheEnvelope)
+{
+    ArrivalCurve curve;
+    curve.points = {{10 * kMsec, 20}, {kSec, 400}};
+    stats::Rng rng(9);
+    const auto t = synthesizeFromCurve(curve, 30 * kSec, rng, {1.0});
+    ASSERT_FALSE(t.entries.empty());
+    for (std::size_t i = 1; i < t.entries.size(); ++i)
+        EXPECT_GT(t.entries[i].at, t.entries[i - 1].at);
+    const auto re = extractCurve(t, {10 * kMsec, kSec});
+    EXPECT_EQ(re.points[0].maxArrivals, 20u);
+    EXPECT_EQ(re.points[1].maxArrivals, 400u);
+}
+
+TEST(ArrivalCurve, SynthesisFromAZeroCurveIsEmpty)
+{
+    ArrivalCurve curve;
+    curve.points = {{kMsec, 0}};
+    stats::Rng rng(1);
+    EXPECT_TRUE(
+        synthesizeFromCurve(curve, kSec, rng, {1.0}).entries.empty());
+}
+
+TEST(ArrivalCurve, SynthesisPreservesClassMix)
+{
+    ArrivalCurve curve;
+    curve.points = {{kMsec, 2}, {kSec, 500}};
+    stats::Rng rng(13);
+    const auto t =
+        synthesizeFromCurve(curve, 60 * kSec, rng, {3.0, 1.0});
+    const auto mix = t.classMix();
+    ASSERT_EQ(mix.size(), 2u);
+    EXPECT_NEAR(mix[0], 0.75, 0.02);
+    EXPECT_NEAR(mix[1], 0.25, 0.02);
+}
+
+// The acceptance property: extract (r, b) from a bursty trace,
+// re-synthesize, and the re-synthesized trace's empirical curve
+// matches the original at every configured window — never above it,
+// and within tolerance below.
+TEST(ArrivalCurve, RoundTripCurveMatchesWithinTolerance)
+{
+    ProfileGenerator gen(burstRate(300.0, 1.5, 20 * kSec, 5 * kSec),
+                         sim::fixedMix({2.0, 1.0}), 17);
+    const auto orig = recordTrace(gen, 60 * kSec);
+    const std::vector<SimTime> windows = {10 * kMsec, 100 * kMsec, kSec,
+                                          10 * kSec};
+    const auto curve = extractCurve(orig, windows);
+
+    stats::Rng rng(18);
+    const auto resynth =
+        synthesizeFromCurve(curve, 60 * kSec, rng, orig.classMix());
+    const auto recurve = extractCurve(resynth, windows);
+
+    ASSERT_EQ(recurve.points.size(), curve.points.size());
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+        const double want =
+            static_cast<double>(curve.points[i].maxArrivals);
+        const double got =
+            static_cast<double>(recurve.points[i].maxArrivals);
+        EXPECT_LE(got, want) << "window " << curve.points[i].window;
+        EXPECT_GE(got, 0.8 * want - 2.0)
+            << "window " << curve.points[i].window;
+    }
+}
+
+// scaleTrace(t, 100) preserves the curve shape at 100x the rate: the
+// max count in a window w of the scaled trace matches the max count
+// in window 100*w of the original.
+TEST(ArrivalCurve, ScaleTracePreservesCurveShape)
+{
+    ProfileGenerator gen(burstRate(200.0, 1.0, 30 * kSec, 10 * kSec),
+                         sim::fixedMix({1.0}), 29);
+    const auto orig = recordTrace(gen, 2 * sim::kMin);
+    const auto scaled = scaleTrace(orig, 100.0);
+    EXPECT_NEAR(scaled.meanRate(), 100.0 * orig.meanRate(),
+                0.01 * 100.0 * orig.meanRate());
+
+    const std::vector<SimTime> origWindows = {100 * kMsec, kSec,
+                                              10 * kSec};
+    const std::vector<SimTime> scaledWindows = {kMsec, 10 * kMsec,
+                                                100 * kMsec};
+    const auto a = extractCurve(orig, origWindows);
+    const auto b = extractCurve(scaled, scaledWindows);
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const double want = static_cast<double>(a.points[i].maxArrivals);
+        const double got = static_cast<double>(b.points[i].maxArrivals);
+        // Rounding to the us clock can merge or split window edges;
+        // allow a few percent plus a small absolute slack.
+        EXPECT_NEAR(got, want, 0.05 * want + 3.0)
+            << "window " << origWindows[i];
+    }
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/** @file Tests for the CSV trace format: strict parsing, round-trip. */
+
+#include "workload/csv.h"
+
+#include "workload/arrival_curve.h"
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace
+{
+
+using namespace ursa;
+using namespace ursa::workload;
+using sim::kMsec;
+using sim::kSec;
+
+TEST(Csv, ParsesHeaderCommentsAndBlankLines)
+{
+    const std::string text = "arrival_time_us,class\n"
+                             "# a comment\n"
+                             "\n"
+                             "100,0\n"
+                             "250,1\n";
+    CsvError err;
+    const auto trace = parseTraceCsvString(text, &err);
+    ASSERT_TRUE(trace.has_value()) << err.format();
+    ASSERT_EQ(trace->entries.size(), 2u);
+    EXPECT_EQ(trace->entries[0].at, 100);
+    EXPECT_EQ(trace->entries[0].classId, 0);
+    EXPECT_EQ(trace->entries[1].at, 250);
+    EXPECT_EQ(trace->entries[1].classId, 1);
+}
+
+TEST(Csv, HeaderIsOptionalAndCrlfTolerated)
+{
+    const auto trace = parseTraceCsvString("5,0\r\n10,2\r\n");
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_EQ(trace->entries.size(), 2u);
+    EXPECT_EQ(trace->entries[1].classId, 2);
+}
+
+TEST(Csv, TiesAreAccepted)
+{
+    const auto trace = parseTraceCsvString("7,0\n7,1\n7,0\n");
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_EQ(trace->entries.size(), 3u);
+}
+
+struct BadCase
+{
+    const char *text;
+    std::size_t line;
+    const char *why;
+};
+
+TEST(Csv, StrictParseErrorsCarryLineAndReason)
+{
+    const BadCase cases[] = {
+        {"100\n", 1, "missing comma"},
+        {"100,0,9\n", 1, "three fields"},
+        {"abc,0\n", 1, "non-numeric time"},
+        {"100,zebra\n", 1, "non-numeric class"},
+        {"10.5,0\n", 1, "float time"},
+        {"-5,0\n", 1, "negative time"},
+        {"100,-2\n", 1, "negative class"},
+        {"100,0\n50,0\n", 2, "decreasing times"},
+        {"100,0\n101,1x\n", 2, "trailing junk"},
+        {"arrival_time_us,class\n100,\n", 2, "empty class"},
+    };
+    for (const BadCase &c : cases) {
+        CsvError err;
+        const auto trace = parseTraceCsvString(c.text, &err);
+        EXPECT_FALSE(trace.has_value()) << c.why;
+        EXPECT_EQ(err.line, c.line) << c.why;
+        EXPECT_FALSE(err.message.empty()) << c.why;
+        EXPECT_NE(err.format().find("line"), std::string::npos) << c.why;
+    }
+}
+
+TEST(Csv, HeaderOnlyAfterDataIsAnError)
+{
+    CsvError err;
+    const auto trace =
+        parseTraceCsvString("100,0\narrival_time_us,class\n", &err);
+    EXPECT_FALSE(trace.has_value());
+    EXPECT_EQ(err.line, 2u);
+}
+
+TEST(Csv, MissingFileIsAFileLevelError)
+{
+    CsvError err;
+    const auto trace = loadTraceCsv("/nonexistent/trace.csv", &err);
+    EXPECT_FALSE(trace.has_value());
+    EXPECT_EQ(err.line, 0u);
+    EXPECT_NE(err.message.find("cannot open"), std::string::npos);
+}
+
+TEST(Csv, RoundTripIsByteIdentical)
+{
+    stats::Rng rng(77);
+    const auto trace = makePoissonTrace(rng, kSec, 2000.0, {2.0, 1.0, 1.0});
+
+    std::ostringstream out;
+    writeTraceCsv(out, trace);
+    const std::string first = out.str();
+
+    CsvError err;
+    const auto parsed = parseTraceCsvString(first, &err);
+    ASSERT_TRUE(parsed.has_value()) << err.format();
+    EXPECT_EQ(*parsed, trace);
+
+    std::ostringstream out2;
+    writeTraceCsv(out2, *parsed);
+    EXPECT_EQ(out2.str(), first);
+}
+
+TEST(Csv, SaveAndLoadFileRoundTrip)
+{
+    stats::Rng rng(78);
+    const auto trace = makePoissonTrace(rng, kSec, 500.0, {1.0, 1.0});
+    const std::string path =
+        testing::TempDir() + "/ursa_trace_roundtrip.csv";
+    CsvError err;
+    ASSERT_TRUE(saveTraceCsv(path, trace, &err)) << err.format();
+    const auto loaded = loadTraceCsv(path, &err);
+    ASSERT_TRUE(loaded.has_value()) << err.format();
+    EXPECT_EQ(*loaded, trace);
+}
+
+// The checked-in fixture: a two-class trace with a front-loaded burst,
+// registered with ctest via URSA_WORKLOAD_TESTDATA.
+TEST(Csv, LoadsTheCheckedInFixture)
+{
+    const std::string path =
+        std::string(URSA_WORKLOAD_TESTDATA) + "/sample_trace.csv";
+    CsvError err;
+    const auto trace = loadTraceCsv(path, &err);
+    ASSERT_TRUE(trace.has_value()) << err.format();
+    ASSERT_EQ(trace->entries.size(), 24u);
+    EXPECT_EQ(trace->duration(), 1000 * kMsec);
+    EXPECT_EQ(trace->countOf(0), 16u);
+    EXPECT_EQ(trace->countOf(1), 8u);
+    // The first 100ms carry the burst: more than half the arrivals.
+    const auto curve =
+        extractCurve(*trace, {100 * kMsec, 1000 * kMsec});
+    EXPECT_GE(curve.points[0].maxArrivals, 12u);
+    EXPECT_EQ(curve.points[1].maxArrivals, 24u);
+}
+
+} // namespace
