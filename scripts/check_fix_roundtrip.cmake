@@ -1,0 +1,67 @@
+# --fix round-trip: copy the fixture tree aside, show that
+# --fix-dry-run prints the deletion diff WITHOUT touching the file,
+# then that --fix deletes exactly the dead include, and that the tree
+# lints clean afterwards with the live include intact.
+#
+# Usage: cmake -DLINT_BIN=<ursa-lint> -DFIXDATA=<dir> -DWORKDIR=<dir>
+#        -P this_file
+if(NOT LINT_BIN OR NOT FIXDATA OR NOT WORKDIR)
+  message(FATAL_ERROR
+    "pass -DLINT_BIN=<ursa-lint> -DFIXDATA=<dir> -DWORKDIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(COPY ${FIXDATA}/ DESTINATION ${WORKDIR})
+
+# 1. Dry run: exits 1 (the finding is still reported), prints the diff
+#    to stdout, and leaves the file byte-identical.
+execute_process(
+  COMMAND ${LINT_BIN} --root ${WORKDIR} --fix-dry-run
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "--fix-dry-run exited ${rc} (want 1: the finding stays):\n${out}${err}")
+endif()
+foreach(piece "--- a/solver/use.cc" "-#include \"solver/dep.h\"")
+  string(FIND "${out}" "${piece}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "dry-run diff is missing \"${piece}\"; got:\n${out}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${FIXDATA}/solver/use.cc ${WORKDIR}/solver/use.cc
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "--fix-dry-run modified the tree")
+endif()
+
+# 2. Apply: the fixed finding disappears from the report, so the run
+#    exits clean.
+execute_process(
+  COMMAND ${LINT_BIN} --root ${WORKDIR} --fix
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--fix exited ${rc}:\n${out}${err}")
+endif()
+
+# 3. Round trip: a fresh lint of the fixed tree is clean, the dead
+#    include is gone, and the live one survived.
+execute_process(
+  COMMAND ${LINT_BIN} --root ${WORKDIR}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "tree not clean after --fix (exit ${rc}):\n${out}${err}")
+endif()
+file(READ ${WORKDIR}/solver/use.cc fixed)
+string(FIND "${fixed}" "solver/dep.h" at)
+if(NOT at EQUAL -1)
+  message(FATAL_ERROR "--fix left the dead include behind:\n${fixed}")
+endif()
+string(FIND "${fixed}" "#include \"solver/limits.h\"" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "--fix removed the live include:\n${fixed}")
+endif()
+message(STATUS "--fix round-trip OK: dead include removed, tree clean")

@@ -1,0 +1,32 @@
+# Pass-1 lexing fans out over URSA_THREADS workers and passes 2/3 run
+# over the merged model; the report (text and SARIF) must be
+# byte-identical at any thread count or the analyzer leaks scheduling
+# order into its output.
+#
+# Usage: cmake -DLINT_BIN=<ursa-lint> -DSRC=<dir> -P this_file
+if(NOT LINT_BIN OR NOT SRC)
+  message(FATAL_ERROR "pass -DLINT_BIN=<ursa-lint> -DSRC=<dir>")
+endif()
+
+foreach(fmt "text" "sarif")
+  set(outs)
+  foreach(threads 1 8)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env URSA_THREADS=${threads}
+              ${LINT_BIN} --root ${SRC} --format=${fmt}
+      RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(rc GREATER 1)
+      message(FATAL_ERROR
+        "ursa-lint --format=${fmt} failed under URSA_THREADS=${threads} "
+        "(exit ${rc}):\n${err}")
+    endif()
+    list(APPEND outs "${out}")
+  endforeach()
+  list(GET outs 0 one)
+  list(GET outs 1 eight)
+  if(NOT one STREQUAL eight)
+    message(FATAL_ERROR
+      "--format=${fmt} output differs between URSA_THREADS=1 and 8")
+  endif()
+endforeach()
+message(STATUS "thread-count determinism OK: text and SARIF byte-stable")

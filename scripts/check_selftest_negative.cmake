@@ -32,7 +32,10 @@ set(expected
   "bait core/unfired_bait.cc:4 did not trigger [wall-clock]"
   "suppression core/unsilenced_suppression.cc:6 failed to silence [wall-clock]"
   "clean line projects/badcycle/trace/loop_a.h:4 wrongly triggered [layer-cycle]"
-  "clean line projects/badcycle/trace/loop_b.h:2 wrongly triggered [layer-cycle]")
+  "clean line projects/badcycle/trace/loop_b.h:2 wrongly triggered [layer-cycle]"
+  "bait projects/quiet/sim/quiet.cc:9 did not trigger [sim-nondeterminism]"
+  "bait projects/quiet/sim/quiet.cc:16 did not trigger [blocking-in-sim]"
+  "bait projects/quiet/sim/quiet.cc:22 did not trigger [unbounded-recursion]")
 foreach(msg IN LISTS expected)
   string(FIND "${log}" "${msg}" at)
   if(at EQUAL -1)

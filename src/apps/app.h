@@ -1,50 +1,28 @@
 /**
  * @file
- * AppSpec — a declarative description of one benchmark application
- * (services, request classes, SLAs, canonical request mix) that can be
- * instantiated into a Cluster. The four applications of paper Sec. VI
- * (social network, vanilla social network, media service, video
- * processing pipeline) and the Sec.-III study chains are provided.
+ * Builders for the benchmark applications of paper Sec. VI (social
+ * network, vanilla social network, media service, video processing
+ * pipeline) and the Sec.-III study chains. The topology type itself —
+ * `spec::AppSpec` — lives in the spec layer (src/spec/app_spec.h) so
+ * the control plane and the baselines can consume it without
+ * depending on this, the top layer of the DAG; apps/ only *constructs*
+ * specs.
  */
 
 #ifndef URSA_APPS_APP_H
 #define URSA_APPS_APP_H
 
-#include "sim/cluster.h"
 #include "sim/types.h"
-
-#include <string>
-#include <vector>
+#include "spec/app_spec.h"
 
 namespace ursa::apps
 {
 
-/** A benchmark application, ready to instantiate into a cluster. */
-struct AppSpec
-{
-    std::string name;
-    std::vector<sim::ServiceConfig> services;
-    std::vector<sim::RequestClassSpec> classes;
-    /**
-     * Canonical request-mix weights (one per class) used during
-     * exploration and the constant/dynamic evaluation loads — the
-     * ratios of paper Sec. VII-C.
-     */
-    std::vector<double> exploreMix;
-    /** Total request rate (rps) of the paper-style constant load. */
-    double nominalRps = 100.0;
-    /** Services highlighted in Fig.-13-style plots. */
-    std::vector<std::string> representative;
-
-    /** Register services and classes into `cluster` and finalize it. */
-    void instantiate(sim::Cluster &cluster) const;
-
-    /** Index of a class by name (throws if absent). */
-    sim::ClassId classIndex(const std::string &className) const;
-
-    /** Index of a service by name (throws if absent). */
-    int serviceIndex(const std::string &serviceName) const;
-};
+/// Builders return the spec-layer topology type; the alias keeps the
+/// historical `apps::AppSpec` spelling working for code above apps/
+/// (tests, benches, examples).
+using spec::AppSpec;
+using spec::skewMix;
 
 /**
  * The re-implemented social network (Sec. VI): posts, comments,
@@ -71,13 +49,6 @@ AppSpec makeVideoPipeline(double highFrac = 0.25);
  * the whole chain.
  */
 AppSpec makeStudyChain(sim::CallKind kind, int tiers = 5);
-
-/**
- * Return a copy of `mix` with class `cls`'s weight multiplied by
- * `factor` (the paper's skewed loads double or halve update classes).
- */
-std::vector<double> skewMix(const AppSpec &app, std::vector<double> mix,
-                            const std::string &className, double factor);
 
 } // namespace ursa::apps
 

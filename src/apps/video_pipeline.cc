@@ -9,6 +9,8 @@
  */
 
 #include "apps/app.h"
+
+#include "spec/app_spec.h"
 #include "sim/time.h"
 #include "sim/types.h"
 

@@ -1,6 +1,6 @@
 #include "baselines/firm.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "ml/rl.h"
 #include "sim/cluster.h"
 #include "sim/service.h"
@@ -15,7 +15,7 @@ namespace ursa::baselines
 {
 
 FirmController::FirmController(sim::Cluster &cluster,
-                               const apps::AppSpec &app, FirmConfig cfg)
+                               const spec::AppSpec &app, FirmConfig cfg)
     : cluster_(&cluster), app_(app), cfg_(cfg), rng_(cfg.seed ^ 0xf1b3)
 {
     cfg_.agent.numActions = static_cast<int>(cfg_.actions.size());

@@ -15,7 +15,7 @@
 #ifndef URSA_BASELINES_FIRM_H
 #define URSA_BASELINES_FIRM_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "ml/rl.h"
 #include "sim/cluster.h"
 #include "sim/time.h"
@@ -58,7 +58,7 @@ struct FirmConfig
 class FirmController
 {
   public:
-    FirmController(sim::Cluster &cluster, const apps::AppSpec &app,
+    FirmController(sim::Cluster &cluster, const spec::AppSpec &app,
                    FirmConfig cfg);
 
     /**
@@ -103,7 +103,7 @@ class FirmController
     void deployTick();
 
     sim::Cluster *cluster_;
-    const apps::AppSpec &app_;
+    const spec::AppSpec &app_;
     FirmConfig cfg_;
     std::vector<std::unique_ptr<ml::QAgent>> agents_;
     stats::Rng rng_;

@@ -1,6 +1,6 @@
 #include "baselines/sinan.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
 #include "sim/cluster.h"
@@ -23,7 +23,7 @@ constexpr double kRatioClip = 5.0;
 
 /** Measured per-class latency/SLA ratios over [from, to). */
 std::vector<double>
-measuredRatios(const sim::Cluster &cluster, const apps::AppSpec &app,
+measuredRatios(const sim::Cluster &cluster, const spec::AppSpec &app,
                sim::SimTime from, sim::SimTime to)
 {
     std::vector<double> ratios(app.classes.size(), 0.0);
@@ -44,7 +44,7 @@ measuredRatios(const sim::Cluster &cluster, const apps::AppSpec &app,
 
 } // namespace
 
-SinanModel::SinanModel(const apps::AppSpec &app, SinanConfig cfg)
+SinanModel::SinanModel(const spec::AppSpec &app, SinanConfig cfg)
     : cfg_(cfg), numServices_(static_cast<int>(app.services.size())),
       numClasses_(static_cast<int>(app.classes.size())),
       loadScale_(std::max(1.0, app.nominalRps))
@@ -102,7 +102,7 @@ SinanModel::violationProbability(const std::vector<double> &x) const
 }
 
 SinanCollector::SinanCollector(sim::Cluster &cluster,
-                               const apps::AppSpec &app, SinanConfig cfg)
+                               const spec::AppSpec &app, SinanConfig cfg)
     : cluster_(cluster), app_(app), cfg_(cfg), rng_(cfg.seed ^ 0xc0ffee)
 {
 }
@@ -168,7 +168,7 @@ SinanCollector::collect(int numSamples)
 }
 
 SinanScheduler::SinanScheduler(sim::Cluster &cluster,
-                               const apps::AppSpec &app,
+                               const spec::AppSpec &app,
                                const SinanModel &model, SinanConfig cfg)
     : cluster_(cluster), app_(app), model_(model), cfg_(cfg)
 {

@@ -19,7 +19,7 @@
 #ifndef URSA_BASELINES_SINAN_H
 #define URSA_BASELINES_SINAN_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "base/thread_annotations.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
@@ -69,7 +69,7 @@ struct SinanConfig
 class SinanModel
 {
   public:
-    SinanModel(const apps::AppSpec &app, SinanConfig cfg);
+    SinanModel(const spec::AppSpec &app, SinanConfig cfg);
 
     /** Build the feature vector for an allocation + measured loads. */
     std::vector<double> features(const std::vector<int> &replicas,
@@ -112,7 +112,7 @@ class SinanModel
 class URSA_SINGLE_THREADED SinanCollector
 {
   public:
-    SinanCollector(sim::Cluster &cluster, const apps::AppSpec &app,
+    SinanCollector(sim::Cluster &cluster, const spec::AppSpec &app,
                    SinanConfig cfg);
 
     /**
@@ -124,7 +124,7 @@ class URSA_SINGLE_THREADED SinanCollector
 
   private:
     sim::Cluster &cluster_;
-    const apps::AppSpec &app_;
+    const spec::AppSpec &app_;
     SinanConfig cfg_;
     stats::Rng rng_;
 };
@@ -133,7 +133,7 @@ class URSA_SINGLE_THREADED SinanCollector
 class SinanScheduler
 {
   public:
-    SinanScheduler(sim::Cluster &cluster, const apps::AppSpec &app,
+    SinanScheduler(sim::Cluster &cluster, const spec::AppSpec &app,
                    const SinanModel &model, SinanConfig cfg);
 
     /** Begin periodic decisions at absolute time `at`. */
@@ -153,7 +153,7 @@ class SinanScheduler
     std::vector<double> measuredClassLoads() const;
 
     sim::Cluster &cluster_;
-    const apps::AppSpec &app_;
+    const spec::AppSpec &app_;
     const SinanModel &model_;
     SinanConfig cfg_;
     bool running_ = false;

@@ -1,6 +1,6 @@
 #include "core/auto_reexplorer.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "core/explorer.h"
 #include "core/manager.h"
 #include "sim/types.h"
@@ -9,7 +9,7 @@ namespace ursa::core
 {
 
 AutoReexplorer::AutoReexplorer(UrsaManager &manager,
-                               const apps::AppSpec &app,
+                               const spec::AppSpec &app,
                                ExplorationOptions opts)
     : manager_(manager), app_(app), explorer_(opts)
 {

@@ -16,7 +16,7 @@
 #ifndef URSA_CORE_AUTO_REEXPLORER_H
 #define URSA_CORE_AUTO_REEXPLORER_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "core/explorer.h"
 #include "core/manager.h"
 #include "core/profile.h"
@@ -36,7 +36,7 @@ class AutoReexplorer
      * Wire `manager.onReexplore`. The app reference must outlive this
      * object (as it must outlive the manager anyway).
      */
-    AutoReexplorer(UrsaManager &manager, const apps::AppSpec &app,
+    AutoReexplorer(UrsaManager &manager, const spec::AppSpec &app,
                    ExplorationOptions opts);
 
     /** Services re-explored so far (may repeat). */
@@ -55,7 +55,7 @@ class AutoReexplorer
     void handle(const std::vector<sim::ServiceId> &services);
 
     UrsaManager &manager_;
-    const apps::AppSpec &app_;
+    const spec::AppSpec &app_;
     ExplorationController explorer_;
     AppProfile working_;
     std::vector<sim::ServiceId> reexplored_;

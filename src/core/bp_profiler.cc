@@ -1,6 +1,6 @@
 #include "core/bp_profiler.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "check/check.h"
 #include "core/harness.h"
 #include "sim/time.h"
@@ -77,7 +77,7 @@ attributeStep(const IsolatedHarness &h, sim::SimTime warmup,
 }
 
 StepMeasurement
-measureStep(const apps::AppSpec &app, int serviceIdx,
+measureStep(const spec::AppSpec &app, int serviceIdx,
             const std::vector<double> &rates, double cpuLimit,
             double demandCores, std::uint64_t seed,
             const BpProfilerOptions &opts)
@@ -129,7 +129,7 @@ measureStep(const apps::AppSpec &app, int serviceIdx,
 } // namespace
 
 BpProfileResult
-profileBackpressureThreshold(const apps::AppSpec &app, int serviceIdx,
+profileBackpressureThreshold(const spec::AppSpec &app, int serviceIdx,
                              const std::vector<double> &localRates,
                              std::uint64_t seed,
                              const BpProfilerOptions &opts)

@@ -12,7 +12,7 @@
 #ifndef URSA_CORE_BP_PROFILER_H
 #define URSA_CORE_BP_PROFILER_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "sim/time.h"
 
 #include <cstdint>
@@ -114,7 +114,7 @@ struct BpProfilerOptions
  * under the given service-local per-class rates.
  */
 BpProfileResult profileBackpressureThreshold(
-    const apps::AppSpec &app, int serviceIdx,
+    const spec::AppSpec &app, int serviceIdx,
     const std::vector<double> &localRates, std::uint64_t seed,
     const BpProfilerOptions &opts = {});
 

@@ -1,6 +1,6 @@
 #include "core/explorer.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "check/check.h"
 #include "core/bp_profiler.h"
 #include "core/harness.h"
@@ -18,7 +18,7 @@ namespace ursa::core
 {
 
 std::vector<double>
-ExplorationController::localRates(const apps::AppSpec &app,
+ExplorationController::localRates(const spec::AppSpec &app,
                                   int serviceIdx) const
 {
     const std::vector<double> &mix =
@@ -34,7 +34,7 @@ ExplorationController::localRates(const apps::AppSpec &app,
 }
 
 ServiceProfile
-ExplorationController::exploreService(const apps::AppSpec &app,
+ExplorationController::exploreService(const spec::AppSpec &app,
                                       int serviceIdx, double bpThreshold,
                                       const std::vector<double> &rates,
                                       const PercentileGrid &grid) const
@@ -169,7 +169,7 @@ ExplorationController::exploreService(const apps::AppSpec &app,
 }
 
 AppProfile
-ExplorationController::exploreApp(const apps::AppSpec &app) const
+ExplorationController::exploreApp(const spec::AppSpec &app) const
 {
     // Per-service explorations are embarrassingly parallel (Sec. VII-C:
     // wall-clock time is the max, not the sum). Each index builds its
@@ -198,7 +198,7 @@ ExplorationController::exploreApp(const apps::AppSpec &app) const
 }
 
 void
-ExplorationController::reexploreService(const apps::AppSpec &app,
+ExplorationController::reexploreService(const spec::AppSpec &app,
                                         int serviceIdx,
                                         AppProfile &profile) const
 {

@@ -12,7 +12,7 @@
 #ifndef URSA_CORE_EXPLORER_H
 #define URSA_CORE_EXPLORER_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "core/bp_profiler.h"
 #include "core/profile.h"
 #include "core/theorem.h"
@@ -70,7 +70,7 @@ class ExplorationController
      * Explore a single service given its backpressure-free threshold
      * and service-local per-class rates.
      */
-    ServiceProfile exploreService(const apps::AppSpec &app,
+    ServiceProfile exploreService(const spec::AppSpec &app,
                                   int serviceIdx, double bpThreshold,
                                   const std::vector<double> &localRates,
                                   const PercentileGrid &grid) const;
@@ -82,17 +82,17 @@ class ExplorationController
      * on every service. Per-service explorations are independent, so
      * wall-clock time is the max, not the sum (Sec. VII-C).
      */
-    AppProfile exploreApp(const apps::AppSpec &app) const;
+    AppProfile exploreApp(const spec::AppSpec &app) const;
 
     /**
      * Re-explore one service (the paper's partial exploration after a
      * business-logic update, Sec. VII-G) and patch the profile.
      */
-    void reexploreService(const apps::AppSpec &app, int serviceIdx,
+    void reexploreService(const spec::AppSpec &app, int serviceIdx,
                           AppProfile &profile) const;
 
     /** Service-local per-class rates implied by the options' mix. */
-    std::vector<double> localRates(const apps::AppSpec &app,
+    std::vector<double> localRates(const spec::AppSpec &app,
                                    int serviceIdx) const;
 
     const ExplorationOptions &options() const { return opts_; }

@@ -1,6 +1,6 @@
 #include "core/harness.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "sim/client.h"
 #include "sim/cluster.h"
 #include "sim/time.h"
@@ -19,7 +19,7 @@ IsolatedHarness::totalRps() const
 }
 
 IsolatedHarness
-makeIsolatedHarness(const apps::AppSpec &app, int serviceIdx,
+makeIsolatedHarness(const spec::AppSpec &app, int serviceIdx,
                     const std::vector<double> &localRates,
                     int testedReplicas, std::uint64_t seed,
                     int proxyThreads, sim::SimTime metricsWindow)

@@ -13,7 +13,7 @@
 #ifndef URSA_CORE_HARNESS_H
 #define URSA_CORE_HARNESS_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "sim/client.h"
 #include "sim/cluster.h"
 #include "sim/time.h"
@@ -56,7 +56,7 @@ struct IsolatedHarness
  * @param proxyThreads Worker pool of the proxy: finite so that tested-
  *        service saturation visibly backs up into the proxy.
  */
-IsolatedHarness makeIsolatedHarness(const apps::AppSpec &app,
+IsolatedHarness makeIsolatedHarness(const spec::AppSpec &app,
                                     int serviceIdx,
                                     const std::vector<double> &localRates,
                                     int testedReplicas, std::uint64_t seed,

@@ -1,6 +1,6 @@
 #include "core/manager.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "core/anomaly.h"
 #include "core/estimator.h"
 #include "core/mip_model.h"
@@ -17,7 +17,7 @@
 namespace ursa::core
 {
 
-UrsaManager::UrsaManager(sim::Cluster &cluster, const apps::AppSpec &app,
+UrsaManager::UrsaManager(sim::Cluster &cluster, const spec::AppSpec &app,
                          AppProfile profile, UrsaManagerOptions opts)
     : cluster_(cluster), app_(app), profile_(std::move(profile)),
       opts_(opts), visits_(computeVisitCounts(app)),

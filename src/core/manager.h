@@ -9,7 +9,7 @@
 #ifndef URSA_CORE_MANAGER_H
 #define URSA_CORE_MANAGER_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "core/anomaly.h"
 #include "core/estimator.h"
 #include "core/mip_model.h"
@@ -48,7 +48,7 @@ class UrsaManager
      * @param app The application (for topology-derived visit counts).
      * @param profile Exploration output.
      */
-    UrsaManager(sim::Cluster &cluster, const apps::AppSpec &app,
+    UrsaManager(sim::Cluster &cluster, const spec::AppSpec &app,
                 AppProfile profile, UrsaManagerOptions opts = {});
 
     /**
@@ -119,7 +119,7 @@ class UrsaManager
     std::vector<std::vector<double>> measuredLoads(sim::SimTime horizon);
 
     sim::Cluster &cluster_;
-    const apps::AppSpec &app_;
+    const spec::AppSpec &app_;
     AppProfile profile_;
     UrsaManagerOptions opts_;
     std::vector<std::vector<double>> visits_;    ///< load-bearing visits

@@ -1,6 +1,6 @@
 #include "core/profile.h"
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "sim/time.h"
 #include "sim/types.h"
 
@@ -50,7 +50,7 @@ namespace
 {
 
 std::vector<std::vector<double>>
-walkVisits(const apps::AppSpec &app, bool syncPathsOnly)
+walkVisits(const spec::AppSpec &app, bool syncPathsOnly)
 {
     const std::size_t numServices = app.services.size();
     const std::size_t numClasses = app.classes.size();
@@ -95,13 +95,13 @@ walkVisits(const apps::AppSpec &app, bool syncPathsOnly)
 } // namespace
 
 std::vector<std::vector<double>>
-computeVisitCounts(const apps::AppSpec &app)
+computeVisitCounts(const spec::AppSpec &app)
 {
     return walkVisits(app, /*syncPathsOnly=*/false);
 }
 
 std::vector<std::vector<double>>
-computeSlaVisitCounts(const apps::AppSpec &app)
+computeSlaVisitCounts(const spec::AppSpec &app)
 {
     return walkVisits(app, /*syncPathsOnly=*/true);
 }

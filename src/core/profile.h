@@ -9,7 +9,7 @@
 #ifndef URSA_CORE_PROFILE_H
 #define URSA_CORE_PROFILE_H
 
-#include "apps/app.h"
+#include "spec/app_spec.h"
 #include "core/theorem.h"
 #include "sim/time.h"
 #include "sim/types.h"
@@ -77,7 +77,7 @@ struct AppProfile
  * latency of all accesses" — the optimizer multiplies by these counts.
  * Every call kind is followed: these counts size *load*.
  */
-std::vector<std::vector<double>> computeVisitCounts(const apps::AppSpec &app);
+std::vector<std::vector<double>> computeVisitCounts(const spec::AppSpec &app);
 
 /**
  * SLA-relevant visit counts: like computeVisitCounts, but for a class
@@ -89,7 +89,7 @@ std::vector<std::vector<double>> computeVisitCounts(const apps::AppSpec &app);
  * and the explorer's early-stop check.
  */
 std::vector<std::vector<double>>
-computeSlaVisitCounts(const apps::AppSpec &app);
+computeSlaVisitCounts(const spec::AppSpec &app);
 
 } // namespace ursa::core
 

@@ -109,6 +109,12 @@ Replica::begin(InvocationPtr inv)
 void
 Replica::advance(const InvocationPtr &inv)
 {
+    // advance() self-recurses once per fire-and-forget call; the call
+    // index strictly grows toward the behavior's call list, so this
+    // bound doubles as the recursion depth bound.
+    URSA_CHECK(inv->callIdx <= inv->behavior->calls.size() + 1,
+               "sim.replica",
+               "invocation call index ran past the behavior's call list");
     Cluster &cluster = svc_.cluster();
     if (inv->callIdx >= inv->behavior->calls.size()) {
         // Post-compute phase, then finish.

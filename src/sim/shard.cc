@@ -104,6 +104,7 @@ ShardedSim::run(SimTime until)
     // each shard's events is independent of URSA_THREADS.
     while (now_ < until) {
         const SimTime target = std::min(until, now_ + window_);
+        // ursa-lint: allow(blocking-in-sim) the shard barrier is the one sanctioned blocking point — co-advancing shards must join on the pool's window edge before cross-shard time can move
         exec::parallelFor(shards_.size(), [&](std::size_t k) {
             shards_[k]->run(target);
         });

@@ -1,11 +1,11 @@
-#include "apps/app.h"
+#include "spec/app_spec.h"
 
 #include "sim/cluster.h"
 #include "sim/types.h"
 
 #include <stdexcept>
 
-namespace ursa::apps
+namespace ursa::spec
 {
 
 void
@@ -46,4 +46,4 @@ skewMix(const AppSpec &app, std::vector<double> mix,
     return mix;
 }
 
-} // namespace ursa::apps
+} // namespace ursa::spec

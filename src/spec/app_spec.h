@@ -1,0 +1,66 @@
+/**
+ * @file
+ * AppSpec — the declarative application topology (services, request
+ * classes / call graphs, SLOs, canonical request mix) shared by every
+ * layer that reasons about an application: the control plane (core/)
+ * consumes it as the input it optimizes, the comparison baselines
+ * (baselines/) read the same topology, and the builders in apps/
+ * construct instances of it.
+ *
+ * Historically this type lived in src/apps/, which put the top of the
+ * construction DAG underneath core/ and baselines/ as a vocabulary
+ * dependency — the 16 grandfathered layer violations of the original
+ * whole-project lint sweep. It now sits in its own spec-only layer
+ * between workload and solver, so everything above workload may speak
+ * "application topology" without reaching into apps/.
+ */
+
+#ifndef URSA_SPEC_APP_SPEC_H
+#define URSA_SPEC_APP_SPEC_H
+
+#include "sim/cluster.h"
+#include "sim/types.h"
+
+#include <string>
+#include <vector>
+
+namespace ursa::spec
+{
+
+/** A benchmark application, ready to instantiate into a cluster. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<sim::ServiceConfig> services;
+    std::vector<sim::RequestClassSpec> classes;
+    /**
+     * Canonical request-mix weights (one per class) used during
+     * exploration and the constant/dynamic evaluation loads — the
+     * ratios of paper Sec. VII-C.
+     */
+    std::vector<double> exploreMix;
+    /** Total request rate (rps) of the paper-style constant load. */
+    double nominalRps = 100.0;
+    /** Services highlighted in Fig.-13-style plots. */
+    std::vector<std::string> representative;
+
+    /** Register services and classes into `cluster` and finalize it. */
+    void instantiate(sim::Cluster &cluster) const;
+
+    /** Index of a class by name (throws if absent). */
+    sim::ClassId classIndex(const std::string &className) const;
+
+    /** Index of a service by name (throws if absent). */
+    int serviceIndex(const std::string &serviceName) const;
+};
+
+/**
+ * Return a copy of `mix` with class `cls`'s weight multiplied by
+ * `factor` (the paper's skewed loads double or halve update classes).
+ */
+std::vector<double> skewMix(const AppSpec &app, std::vector<double> mix,
+                            const std::string &className, double factor);
+
+} // namespace ursa::spec
+
+#endif // URSA_SPEC_APP_SPEC_H

@@ -1,0 +1,11 @@
+// --fix round-trip fixture: dead dependency whose include in use.cc
+// must be deleted by `ursa-lint --fix`.
+#ifndef LINT_FIXDATA_SOLVER_DEP_H
+#define LINT_FIXDATA_SOLVER_DEP_H
+
+namespace depths
+{
+constexpr int unusedDepth = 4;
+}
+
+#endif // LINT_FIXDATA_SOLVER_DEP_H

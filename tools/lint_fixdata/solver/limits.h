@@ -1,0 +1,10 @@
+// --fix round-trip fixture: the live include that must survive --fix.
+#ifndef LINT_FIXDATA_SOLVER_LIMITS_H
+#define LINT_FIXDATA_SOLVER_LIMITS_H
+
+namespace solver
+{
+constexpr int depthLimit = 8;
+}
+
+#endif // LINT_FIXDATA_SOLVER_LIMITS_H

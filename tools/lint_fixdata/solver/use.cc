@@ -1,0 +1,16 @@
+// --fix round-trip fixture: exactly one dead include. After
+// `ursa-lint --fix` deletes it the tree must lint clean, and the
+// surviving include must be untouched.
+#include "solver/dep.h"
+#include "solver/limits.h"
+
+namespace solver
+{
+
+int
+cap(int d)
+{
+    return d > depthLimit ? depthLimit : d;
+}
+
+} // namespace solver

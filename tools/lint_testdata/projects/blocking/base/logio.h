@@ -1,0 +1,27 @@
+// blocking-in-sim fixture, source side: file I/O is a blocking
+// construct; the pure helper must stay clean.
+#ifndef LINT_TESTDATA_BLOCKING_BASE_LOGIO_H
+#define LINT_TESTDATA_BLOCKING_BASE_LOGIO_H
+
+#include <fstream>
+#include <string>
+
+namespace base
+{
+
+inline void
+flushLog(const std::string &line)
+{
+    std::ofstream out("ursa.log");
+    out << line;
+}
+
+inline int
+pureMax(int a, int b)
+{
+    return a > b ? a : b;
+}
+
+} // namespace base
+
+#endif // LINT_TESTDATA_BLOCKING_BASE_LOGIO_H

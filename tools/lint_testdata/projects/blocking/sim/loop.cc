@@ -1,0 +1,36 @@
+// Sim hot-path functions: transitive file I/O (bait), the same call
+// behind a reasoned allow (suppressed), a direct sleep (bait), and a
+// pure helper call (clean).
+#include "base/logio.h"
+
+#include <string>
+
+namespace sim
+{
+
+void
+drain(const std::string &msg)
+{
+    base::flushLog(msg); // ursa-lint-test: expect(blocking-in-sim)
+}
+
+void
+drainSanctioned(const std::string &msg)
+{
+    // ursa-lint: allow(blocking-in-sim) end-of-run flush runs after the event loop has drained
+    base::flushLog(msg); // ursa-lint-test: suppressed(blocking-in-sim)
+}
+
+int
+lookahead(int a, int b)
+{
+    return base::pureMax(a, b);
+}
+
+void
+backoff()
+{
+    usleep(10); // ursa-lint-test: expect(blocking-in-sim)
+}
+
+} // namespace sim

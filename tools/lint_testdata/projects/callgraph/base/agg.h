@@ -1,0 +1,29 @@
+// Call-graph corner-case fixture, iteration side: range-for over an
+// unordered container is a nondeterminism source; base/ is outside
+// the per-file unordered-sim scopes, so only the interprocedural rule
+// can see it from a sim caller.
+#ifndef LINT_TESTDATA_CALLGRAPH_BASE_AGG_H
+#define LINT_TESTDATA_CALLGRAPH_BASE_AGG_H
+
+#include <unordered_map>
+
+namespace base
+{
+
+struct Agg
+{
+    std::unordered_map<int, long> cells;
+
+    long
+    total() const
+    {
+        long sum = 0;
+        for (const auto &kv : cells)
+            sum += kv.second;
+        return sum;
+    }
+};
+
+} // namespace base
+
+#endif // LINT_TESTDATA_CALLGRAPH_BASE_AGG_H

@@ -1,0 +1,48 @@
+// Call-graph corner-case fixture, wall-clock side: an overload set in
+// which only one member reaches the clock (callers must collapse to
+// the union), a helper for unqualified tier-3 resolution, and a pure
+// function that must stay untainted.
+#ifndef LINT_TESTDATA_CALLGRAPH_BASE_CLOCKUTIL_H
+#define LINT_TESTDATA_CALLGRAPH_BASE_CLOCKUTIL_H
+
+#include <chrono>
+#include <ctime>
+
+namespace base
+{
+
+inline long
+nowUs()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+/// Overload set: only the int overload reaches the clock; a call to
+/// `stamp` conservatively resolves to both.
+inline long
+stamp(int tag)
+{
+    return nowUs() + tag;
+}
+
+inline long
+stamp(double scale)
+{
+    return static_cast<long>(scale * 1000.0);
+}
+
+inline long
+readClock()
+{
+    return static_cast<long>(time(nullptr));
+}
+
+inline int
+pureAdd(int a, int b)
+{
+    return a + b;
+}
+
+} // namespace base
+
+#endif // LINT_TESTDATA_CALLGRAPH_BASE_CLOCKUTIL_H

@@ -1,0 +1,38 @@
+// Call-graph corner-case fixture, member side: a member call with an
+// unknown receiver resolves against the class (tier 3), and the
+// callee's own `this->` hop (tier 2) completes the taint chain
+// bump -> raw -> steady_clock.
+#ifndef LINT_TESTDATA_CALLGRAPH_BASE_COUNTER_H
+#define LINT_TESTDATA_CALLGRAPH_BASE_COUNTER_H
+
+#include <chrono>
+
+namespace base
+{
+
+class Counter
+{
+  public:
+    long
+    bump()
+    {
+        return this->raw() + 1;
+    }
+
+    long
+    pure() const
+    {
+        return 7;
+    }
+
+  private:
+    long
+    raw() const
+    {
+        return std::chrono::steady_clock::now().time_since_epoch().count();
+    }
+};
+
+} // namespace base
+
+#endif // LINT_TESTDATA_CALLGRAPH_BASE_COUNTER_H

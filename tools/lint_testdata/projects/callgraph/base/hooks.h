@@ -1,0 +1,23 @@
+// Call-graph corner-case fixture, macro side: DEFINE_PROBE(name)
+// expands to a function header, so the scanner must take the macro's
+// single identifier argument as the defined function's name.
+#ifndef LINT_TESTDATA_CALLGRAPH_BASE_HOOKS_H
+#define LINT_TESTDATA_CALLGRAPH_BASE_HOOKS_H
+
+#include <ctime>
+
+#define DEFINE_PROBE(fn) inline long fn()
+
+namespace base
+{
+
+long clockProbe();
+
+DEFINE_PROBE(clockProbe)
+{
+    return static_cast<long>(time(nullptr));
+}
+
+} // namespace base
+
+#endif // LINT_TESTDATA_CALLGRAPH_BASE_HOOKS_H

@@ -1,0 +1,68 @@
+// Sim-context roots exercising the call-graph corner cases: overload
+// sets, qualified vs unqualified calls, member calls through `this`,
+// calls sited in lambda bodies, and macro-generated function names.
+#include "base/agg.h"
+#include "base/clockutil.h"
+#include "base/counter.h"
+#include "base/hooks.h"
+
+namespace sim
+{
+
+class Engine
+{
+  public:
+    long tick();
+    long settle();
+    long audit(const base::Agg &agg);
+    long probe();
+
+  private:
+    long last_ = 0;
+};
+
+// Qualified call (tier 1) into an overload set: base::stamp(int)
+// reaches the clock, base::stamp(double) does not — the call must
+// collapse to the union and taint.
+long
+Engine::tick()
+{
+    return base::stamp(3); // ursa-lint-test: expect(sim-nondeterminism)
+}
+
+// Unqualified call into a visible include (tier 3), plus a member
+// call through `this` (tier 2) whose target is itself a sim root —
+// root-to-root edges are never reported.
+long
+Engine::settle()
+{
+    using namespace base;
+    const long clean = pureAdd(1, 2);
+    const long dirty = readClock(); // ursa-lint-test: expect(sim-nondeterminism)
+    return clean + dirty + this->tick();
+}
+
+// Member call with an unknown receiver (tier 3 against the class),
+// completed by the callee's `this->raw()` hop; and a call sited
+// inside a lambda body, which still taints.
+long
+Engine::audit(const base::Agg &agg)
+{
+    base::Counter c;
+    const long viaMember = c.bump(); // ursa-lint-test: expect(sim-nondeterminism)
+    auto fold = [&agg] {
+        return agg.total(); // ursa-lint-test: expect(sim-nondeterminism)
+    };
+    return viaMember + fold() + c.pure();
+}
+
+// Macro-generated name: DEFINE_PROBE(clockProbe) defines
+// base::clockProbe, resolved through the spelled qualifier.
+long
+Engine::probe()
+{
+    last_ = base::clockProbe(); // ursa-lint-test: expect(sim-nondeterminism)
+    return last_;
+}
+
+} // namespace sim

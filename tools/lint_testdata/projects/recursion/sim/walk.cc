@@ -1,0 +1,66 @@
+// unbounded-recursion fixture: an unguarded mutual cycle (bait), an
+// URSA_CHECK-guarded self-recursion (clean), a sanctioned cycle
+// (suppressed), and the two shapes that must NOT count as stack
+// recursion — deferred lambda re-entry and receiver-unknown member
+// calls.
+
+namespace sim
+{
+
+void visitB(int d);
+
+// Mutual recursion with no URSA_CHECK depth bound anywhere in the
+// cycle; reported at the first member's definition.
+void
+visitA(int d)
+{ // ursa-lint-test: expect(unbounded-recursion)
+    if (d > 0)
+        visitB(d - 1);
+}
+
+void
+visitB(int d)
+{
+    visitA(d);
+}
+
+// Self-recursion with an URSA_CHECK-guarded depth bound: clean.
+void
+descend(int d)
+{
+    URSA_CHECK(d < 64, "sim.walk", "recursion depth bound");
+    if (d >= 0)
+        descend(d + 1);
+}
+
+// A sanctioned cycle: the reasoned allow silences the report.
+// ursa-lint: allow(unbounded-recursion) depth tracks the service chain, which the spec builder caps
+void spin(int d) { // ursa-lint-test: suppressed(unbounded-recursion)
+    if (d > 0)
+        spin(d - 1);
+}
+
+// Deferred self-invocation through a scheduled lambda is event-driven
+// re-entry, not stack recursion: no report.
+void
+pump(int d)
+{
+    schedule([d] { pump(d - 1); });
+}
+
+// A member call through an unknown receiver (a linked-list walk) may
+// union back to the caller's own class; receiver-unknown edges must
+// not count as provable stack recursion either.
+struct Hop
+{
+    Hop *next = nullptr;
+
+    void
+    fire()
+    {
+        if (next != nullptr)
+            next->fire();
+    }
+};
+
+} // namespace sim

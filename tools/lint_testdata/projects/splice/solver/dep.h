@@ -1,0 +1,13 @@
+// splice fixture: this header is included through a backslash-newline
+// splice and contributes nothing — the include must still be dead.
+// (Deliberately NOT namespace solver: a shared namespace name alone
+// counts as a contributed symbol and would keep the include alive.)
+#ifndef LINT_TESTDATA_SPLICE_SOLVER_DEP_H
+#define LINT_TESTDATA_SPLICE_SOLVER_DEP_H
+
+namespace depths
+{
+constexpr int unusedDepth = 4;
+}
+
+#endif // LINT_TESTDATA_SPLICE_SOLVER_DEP_H

@@ -1,0 +1,11 @@
+// splice fixture: provides the constant that use.cc spells across a
+// backslash-newline splice mid-identifier.
+#ifndef LINT_TESTDATA_SPLICE_SOLVER_LIMITS_H
+#define LINT_TESTDATA_SPLICE_SOLVER_LIMITS_H
+
+namespace solver
+{
+constexpr int spliceLimit = 8;
+}
+
+#endif // LINT_TESTDATA_SPLICE_SOLVER_LIMITS_H

@@ -1,0 +1,19 @@
+// Backslash-newline splices: a dead include spelled across a splice
+// must still resolve (and still count as dead, reported at the
+// directive's ENDING line); an identifier spliced mid-name must still
+// bind to its provider, keeping that include alive.
+#include \
+    "solver/dep.h" // ursa-lint-test: expect(include-hygiene)
+#include "solver/limits.h"
+
+namespace solver
+{
+
+int
+cap()
+{
+    return spli\
+ceLimit + 1;
+}
+
+} // namespace solver

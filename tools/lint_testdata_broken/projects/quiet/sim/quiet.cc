@@ -1,0 +1,25 @@
+// Broken on purpose: none of these interprocedural baits can fire —
+// the negative harness asserts the self-test names each one.
+namespace sim
+{
+
+int
+pureTwice(int v)
+{
+    return v + v; // ursa-lint-test: expect(sim-nondeterminism)
+}
+
+void
+noop()
+{
+    int x = 0;
+    x = x + 1; // ursa-lint-test: expect(blocking-in-sim)
+}
+
+int
+once(int v)
+{
+    return v > 0 ? v - 1 : 0; // ursa-lint-test: expect(unbounded-recursion)
+}
+
+} // namespace sim

@@ -36,9 +36,43 @@ class Lexer
     }
 
   private:
+    /**
+     * Length of a backslash-newline line splice at `i` (2, or 3 with a
+     * CR), else 0. Splices are consumed wherever they occur — between
+     * tokens, inside identifiers, inside directives — so a spliced
+     * `#include` or a spliced keyword reforms exactly as the
+     * preprocessor would see it.
+     */
+    std::size_t
+    spliceLen(std::size_t i) const
+    {
+        if (i + 1 >= src_.size() || src_[i] != '\\')
+            return 0;
+        if (src_[i + 1] == '\n')
+            return 2;
+        if (src_[i + 1] == '\r' && i + 2 < src_.size() && src_[i + 2] == '\n')
+            return 3;
+        return 0;
+    }
+
+    /** Consume any splices at the cursor; returns true if any. */
+    bool
+    skipSplices()
+    {
+        bool any = false;
+        for (std::size_t n = spliceLen(i_); n != 0; n = spliceLen(i_)) {
+            i_ += n;
+            ++line_;
+            any = true;
+        }
+        return any;
+    }
+
     void
     step()
     {
+        if (skipSplices())
+            return; // a splice continues the logical line: keep state
         const char c = src_[i_];
         const char n = i_ + 1 < src_.size() ? src_[i_ + 1] : '\0';
 
@@ -89,10 +123,20 @@ class Lexer
     void
     lineComment()
     {
+        const int startLine = line_;
         const std::size_t start = i_;
-        while (i_ < src_.size() && src_[i_] != '\n')
+        while (i_ < src_.size() && src_[i_] != '\n') {
+            // A line comment whose last character is a backslash
+            // continues onto the next physical line ([lex.phases] p2).
+            const std::size_t n = spliceLen(i_);
+            if (n != 0) {
+                i_ += n;
+                ++line_;
+                continue;
+            }
             ++i_;
-        comment(line_) += src_.substr(start, i_ - start);
+        }
+        comment(startLine) += src_.substr(start, i_ - start);
     }
 
     void
@@ -122,40 +166,87 @@ class Lexer
     void
     hashDirective()
     {
+        // Scan the directive keyword with splice-awareness: both
+        // `#include \<newline> "x.h"` and the pathological
+        // `#inc\<newline>lude "x.h"` must index as an include.
+        // `lines` counts splices consumed so the cursor/line state can
+        // be restored when this is not an include after all.
         std::size_t j = i_ + 1;
-        while (j < src_.size() && (src_[j] == ' ' || src_[j] == '\t'))
-            ++j;
-        if (src_.compare(j, 7, "include") != 0) {
+        int lines = 0;
+        auto skip = [&](std::size_t &at) {
+            for (std::size_t n = spliceLen(at); n != 0; n = spliceLen(at)) {
+                at += n;
+                ++lines;
+            }
+        };
+        std::string keyword;
+        for (skip(j); j < src_.size(); skip(j)) {
+            if (keyword.empty() && (src_[j] == ' ' || src_[j] == '\t')) {
+                ++j;
+                continue;
+            }
+            if (!identChar(src_[j]))
+                break;
+            keyword += src_[j++];
+        }
+        if (keyword != "include") {
             atLineStart_ = false;
             out_.tokens.push_back({TokenKind::Punct, "#", line_});
             ++i_;
             return;
         }
-        j += 7;
-        while (j < src_.size() && (src_[j] == ' ' || src_[j] == '\t'))
-            ++j;
-        if (j < src_.size() && (src_[j] == '<' || src_[j] == '"')) {
-            const char close = src_[j] == '<' ? '>' : '"';
-            const bool angled = src_[j] == '<';
-            const std::size_t nameStart = ++j;
-            while (j < src_.size() && src_[j] != close && src_[j] != '\n')
-                ++j;
-            out_.includes.push_back(
-                {src_.substr(nameStart, j - nameStart), angled, line_});
-            if (j < src_.size() && src_[j] == close)
-                ++j;
+        line_ += lines;
+        i_ = j;
+        // Whitespace and splices interleave freely between the keyword
+        // and the header (`#include \<newline>   "x.h"`).
+        for (;;) {
+            if (spliceLen(i_) != 0 && skipSplices())
+                continue;
+            if (i_ < src_.size() && (src_[i_] == ' ' || src_[i_] == '\t')) {
+                ++i_;
+                continue;
+            }
+            break;
+        }
+        if (i_ < src_.size() && (src_[i_] == '<' || src_[i_] == '"')) {
+            const char close = src_[i_] == '<' ? '>' : '"';
+            const bool angled = src_[i_] == '<';
+            std::string header;
+            ++i_;
+            while (i_ < src_.size() && src_[i_] != close &&
+                   src_[i_] != '\n') {
+                if (spliceLen(i_) != 0 && skipSplices())
+                    continue;
+                header += src_[i_++];
+            }
+            // Reported at the line the header path ends on, so a
+            // trailing same-line comment (suppressions, test
+            // directives) matches even when the directive is spliced.
+            out_.includes.push_back({header, angled, line_});
+            if (i_ < src_.size() && src_[i_] == close)
+                ++i_;
         }
         atLineStart_ = false;
-        i_ = j;
     }
 
     void
     identifierOrLiteral()
     {
-        const std::size_t start = i_;
-        while (i_ < src_.size() && identChar(src_[i_]))
-            ++i_;
-        const std::string word = src_.substr(start, i_ - start);
+        std::string word;
+        while (i_ < src_.size()) {
+            if (identChar(src_[i_])) {
+                word += src_[i_++];
+                continue;
+            }
+            // An identifier spliced across lines (`ass\<newline>ert`)
+            // reforms into one token, reported at its ending line.
+            if (spliceLen(i_) != 0 && i_ + spliceLen(i_) < src_.size() &&
+                identChar(src_[i_ + spliceLen(i_)])) {
+                skipSplices();
+                continue;
+            }
+            break;
+        }
         // String/char literal encoding prefixes, incl. raw strings.
         if (i_ < src_.size() &&
             (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||

@@ -9,7 +9,13 @@
  *       lint a source tree: pass 1 lexes and indexes every file in
  *       parallel (ursa::exec::parallelMap, URSA_THREADS), pass 2 runs
  *       the cross-file rules (layer graph, lock order, include
- *       hygiene) over the assembled project model
+ *       hygiene) over the assembled project model, pass 3 links the
+ *       per-file function tables into a project call graph and runs
+ *       the interprocedural rules (sim-nondeterminism,
+ *       blocking-in-sim, unbounded-recursion) with witness chains
+ *   ursa-lint --root <dir> --fix | --fix-dry-run
+ *       mechanically delete dead includes flagged by include-hygiene
+ *       (--fix rewrites the files; --fix-dry-run prints the diff)
  *   ursa-lint --root <dir> --write-baseline <file>
  *       emit the current violations in baseline format
  *   ursa-lint --self-test --testdata <dir>
@@ -146,9 +152,99 @@ scanFiles(const fs::path &root, const std::vector<std::string> &files)
         });
 }
 
+/**
+ * The mechanically fixable subset of `kept`: include-hygiene dead
+ * includes (flavor (a) — the message starts `include "`). Transitive
+ * leaks need a new include line whose placement is a judgement call,
+ * so they stay manual.
+ */
+std::map<std::string, std::vector<int>>
+fixableDeadIncludes(const std::vector<Violation> &kept)
+{
+    std::map<std::string, std::vector<int>> byFile;
+    for (const Violation &v : kept)
+        if (v.rule == "include-hygiene" &&
+            v.message.rfind("include \"", 0) == 0)
+            byFile[v.path].push_back(v.line);
+    for (auto &[path, lines] : byFile) {
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    }
+    return byFile;
+}
+
+/** Split keeping no terminators; `hadFinalNewline` restores the tail. */
+std::vector<std::string>
+splitLines(const std::string &s, bool &hadFinalNewline)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : s) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    hadFinalNewline = cur.empty() && !s.empty();
+    if (!hadFinalNewline)
+        lines.push_back(cur);
+    return lines;
+}
+
+/**
+ * Delete dead-include lines. In dry-run mode print a minimal unified
+ * diff of what --fix would do; otherwise rewrite the files in place.
+ * Returns the number of lines removed (0 on I/O trouble, reported).
+ */
+std::size_t
+applyIncludeFixes(const fs::path &root,
+                  const std::map<std::string, std::vector<int>> &byFile,
+                  bool dryRun)
+{
+    std::size_t removed = 0;
+    for (const auto &[rel, lines] : byFile) {
+        std::string source;
+        if (!readFile(root / rel, source)) {
+            std::fprintf(stderr, "error: cannot re-read %s for --fix\n",
+                         rel.c_str());
+            continue;
+        }
+        bool finalNl = false;
+        std::vector<std::string> text = splitLines(source, finalNl);
+        if (dryRun) {
+            std::printf("--- a/%s\n+++ b/%s\n", rel.c_str(), rel.c_str());
+            for (const int line : lines) {
+                if (line < 1 || line > static_cast<int>(text.size()))
+                    continue;
+                std::printf("@@ -%d,1 +%d,0 @@\n-%s\n", line, line - 1,
+                            text[static_cast<std::size_t>(line - 1)]
+                                .c_str());
+                ++removed;
+            }
+            continue;
+        }
+        for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+            if (*it < 1 || *it > static_cast<int>(text.size()))
+                continue;
+            text.erase(text.begin() + (*it - 1));
+            ++removed;
+        }
+        std::ofstream out(root / rel, std::ios::binary | std::ios::trunc);
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            out << text[i];
+            if (i + 1 < text.size() || finalNl)
+                out << '\n';
+        }
+    }
+    return removed;
+}
+
 int
 lintTree(const std::string &rootArg, const std::string &baselineArg,
-         const std::string &writeBaselineArg, const std::string &format)
+         const std::string &writeBaselineArg, const std::string &format,
+         bool fix, bool fixDryRun)
 {
     const fs::path root(rootArg);
     if (!fs::is_directory(root)) {
@@ -242,6 +338,39 @@ lintTree(const std::string &rootArg, const std::string &baselineArg,
                          "ursa-lint: %zu baselined violation(s) "
                          "suppressed via %s\n",
                          baselined.size(), baselineArg.c_str());
+    }
+
+    if (fix || fixDryRun) {
+        const std::map<std::string, std::vector<int>> byFile =
+            fixableDeadIncludes(kept);
+        const std::size_t removed =
+            applyIncludeFixes(root, byFile, /*dryRun=*/fixDryRun);
+        if (fixDryRun) {
+            std::fprintf(stderr,
+                         "ursa-lint: --fix would remove %zu dead "
+                         "include(s) in %zu file(s)\n",
+                         removed, byFile.size());
+        } else {
+            std::fprintf(stderr,
+                         "ursa-lint: removed %zu dead include(s) in %zu "
+                         "file(s)\n",
+                         removed, byFile.size());
+            // The fixed findings are gone from disk; report the rest.
+            kept.erase(std::remove_if(
+                           kept.begin(), kept.end(),
+                           [&](const Violation &v) {
+                               const auto it = byFile.find(v.path);
+                               return it != byFile.end() &&
+                                      v.rule == "include-hygiene" &&
+                                      v.message.rfind("include \"", 0) ==
+                                          0 &&
+                                      std::find(it->second.begin(),
+                                                it->second.end(),
+                                                v.line) !=
+                                          it->second.end();
+                           }),
+                       kept.end());
+        }
     }
 
     if (format == "sarif") {
@@ -450,6 +579,7 @@ main(int argc, char **argv)
 {
     std::string root, testdata, baseline, writeBaseline, format = "text";
     bool selfTestMode = false, listRules = false;
+    bool fix = false, fixDryRun = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc)
@@ -464,6 +594,10 @@ main(int argc, char **argv)
             format = argv[++i];
         else if (arg.rfind("--format=", 0) == 0)
             format = arg.substr(9);
+        else if (arg == "--fix")
+            fix = true;
+        else if (arg == "--fix-dry-run")
+            fixDryRun = true;
         else if (arg == "--self-test")
             selfTestMode = true;
         else if (arg == "--list-rules")
@@ -473,6 +607,7 @@ main(int argc, char **argv)
                 stderr,
                 "usage: ursa-lint --root <dir> [--baseline <file>] "
                 "[--write-baseline <file>] [--format text|sarif]\n"
+                "                 [--fix | --fix-dry-run]\n"
                 "     | ursa-lint --self-test --testdata <dir>\n"
                 "     | ursa-lint --list-rules [--format markdown]\n");
             return 2;
@@ -506,5 +641,6 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --root is required (or --self-test)\n");
         return 2;
     }
-    return lintTree(root, baseline, writeBaseline, format);
+    return lintTree(root, baseline, writeBaseline, format, fix,
+                    fixDryRun);
 }

@@ -35,6 +35,52 @@
 namespace ursa::lint
 {
 
+/** What a nondeterminism/blocking taint source does (pass 3). */
+enum class TaintKind
+{
+    WallClock,     ///< system/steady/high_resolution clock, time(NULL)
+    Randomness,    ///< std::random_device, mt19937 & friends, rand()
+    ThreadId,      ///< this_thread / get_id() / thread_local state
+    UnorderedIter, ///< range-for over an unordered container
+    Blocking,      ///< lock acquisition, CondVar::wait, sleep, file/socket I/O
+};
+
+/** One taint source spotted inside a function body. */
+struct SourceMark
+{
+    TaintKind kind;
+    int line;
+    std::string what; ///< the offending spelling ("steady_clock", ...)
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string qual; ///< explicit qualifier as spelled ("exec", "a::b"), "" if none
+    std::string name; ///< callee name (last identifier)
+    bool member = false;   ///< obj.name(...) / obj->name(...) — receiver unknown
+    bool viaThis = false;  ///< this->name(...) — receiver is the enclosing class
+    bool inLambda = false; ///< sited inside a lambda body (deferred work)
+    int line = 0;
+};
+
+/**
+ * One function definition (pass 1 unit of the call graph): where it
+ * is, what it calls, which taint sources its body touches directly,
+ * and whether it carries an URSA_CHECK guard (the recursion rule's
+ * depth-bound heuristic).
+ */
+struct FuncDef
+{
+    std::string name;
+    std::string qual;  ///< enclosing scope chain ("ursa::sim::Cluster")
+    std::string klass; ///< innermost enclosing class ("" = free function)
+    int line;          ///< line of the definition's opening brace
+    std::vector<CallSite> calls;
+    std::vector<SourceMark> sources;
+    bool checkGuard = false; ///< body invokes an URSA_CHECK* macro
+};
+
 /** One lock acquired while another is held, with its source site. */
 struct LockEdge
 {
@@ -71,6 +117,8 @@ struct FileModel
     /// Every identifier spelled anywhere in the file.
     std::set<std::string> idents;
     std::vector<LockEdge> lockEdges;
+    /// Function definitions in token order (pass 3's call-graph input).
+    std::vector<FuncDef> funcs;
 };
 
 struct ProjectModel
@@ -89,8 +137,8 @@ struct ProjectModel
 /**
  * The declared layer DAG, bottom-up:
  *
- *   base -> check/stats -> exec -> sim/trace/workload -> solver/ml
- *        -> baselines/core -> apps
+ *   base -> check/stats -> exec -> sim/trace/workload -> spec
+ *        -> solver/ml -> baselines/core -> apps
  *
  * Returns the layer's level (0 = base), or -1 for a layer the DAG
  * does not know (such files are exempt from layer rules). A file may

@@ -67,6 +67,15 @@ formatText(const std::vector<Violation> &vs, const std::string &root)
         out += ": ";
         out += v.message;
         out += '\n';
+        for (const RelatedSite &s : v.related) {
+            out += "    via ";
+            out += displayPath(root, s.path);
+            out += ':';
+            out += std::to_string(s.line);
+            out += ": ";
+            out += s.note;
+            out += '\n';
+        }
     }
     return out;
 }
@@ -111,7 +120,27 @@ formatSarif(const std::vector<Violation> &vs, const std::string &root)
         out += jsonEscape(displayPath(root, v.path));
         out += "\"}, \"region\": {\"startLine\": ";
         out += std::to_string(v.line);
-        out += "}}}]}";
+        out += "}}}]";
+        if (!v.related.empty()) {
+            // Witness chains (interprocedural findings) ride along as
+            // SARIF relatedLocations, one per call-chain step.
+            out += ", \"relatedLocations\": [";
+            for (std::size_t r = 0; r < v.related.size(); ++r) {
+                const RelatedSite &s = v.related[r];
+                out += "{\"physicalLocation\": {\"artifactLocation\": "
+                       "{\"uri\": \"";
+                out += jsonEscape(displayPath(root, s.path));
+                out += "\"}, \"region\": {\"startLine\": ";
+                out += std::to_string(s.line);
+                out += "}}, \"message\": {\"text\": \"";
+                out += jsonEscape(s.note);
+                out += "\"}}";
+                if (r + 1 < v.related.size())
+                    out += ", ";
+            }
+            out += "]";
+        }
+        out += "}";
         out += i + 1 < vs.size() ? ",\n" : "\n";
     }
     out += "      ]\n"

@@ -1,8 +1,10 @@
 #include "project_rules.h"
 
+#include "callgraph.h"
 #include "graph.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 
 namespace ursa::lint
@@ -21,7 +23,7 @@ struct ProjectCtx
            const std::string &message)
     {
         if (!suppressedAt(fm.lx, line, rule))
-            out.push_back({fm.path, line, rule, message});
+            out.push_back({fm.path, line, rule, message, {}});
     }
 };
 
@@ -71,7 +73,7 @@ ruleLayerViolation(ProjectCtx &ctx)
                            tgt.path + "': '" + tgt.layer +
                            "' sits above it in the layer DAG (base -> "
                            "check/stats -> exec -> sim/trace/workload -> "
-                           "solver/ml -> baselines/core -> apps)");
+                           "spec -> solver/ml -> baselines/core -> apps)");
         }
     }
 }
@@ -263,6 +265,13 @@ lintProject(const ProjectModel &pm)
     ruleLayerCycle(ctx);
     ruleLockOrder(ctx);
     ruleIncludeHygiene(ctx);
+    // Pass 3: the interprocedural rules over the project call graph
+    // (already suppression-filtered and ordered; see callgraph.cc).
+    const CallGraph cg = buildCallGraph(pm);
+    std::vector<Violation> inter = lintCallGraph(pm, cg);
+    ctx.out.insert(ctx.out.end(),
+                   std::make_move_iterator(inter.begin()),
+                   std::make_move_iterator(inter.end()));
     sortViolations(ctx.out);
     return std::move(ctx.out);
 }

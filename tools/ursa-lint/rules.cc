@@ -109,8 +109,8 @@ const std::vector<RuleInfo> kRules = {
      "suppresses nothing"},
     {"layer-violation",
      "include crosses the layer DAG upward (base -> check/stats -> exec "
-     "-> sim/trace/workload -> solver/ml -> baselines/core -> apps); a "
-     "layer may depend only on its own or lower levels"},
+     "-> sim/trace/workload -> spec -> solver/ml -> baselines/core -> "
+     "apps); a layer may depend only on its own or lower levels"},
     {"layer-cycle",
      "include cycle between project files (strongly connected component "
      "in the include graph); break the cycle with a forward declaration "
@@ -123,6 +123,21 @@ const std::vector<RuleInfo> kRules = {
      "include-what-you-use: an include that contributes no symbol used "
      "by this file, or a symbol used here but reachable only through "
      "transitive includes"},
+    {"sim-nondeterminism",
+     "a simulation-context function (src/sim, src/solver, workload "
+     "generator next()) transitively reaches a nondeterminism source — "
+     "wall clock, raw randomness engine, thread identity, or "
+     "unordered-container iteration; the finding carries the witness "
+     "call chain root -> ... -> source"},
+    {"blocking-in-sim",
+     "the single-threaded sim/solver hot path transitively acquires a "
+     "base::Mutex, waits on a CondVar, sleeps, or performs file I/O; "
+     "blocking stalls the event loop — hoist the work out of the "
+     "deterministic path"},
+    {"unbounded-recursion",
+     "recursion cycle within the sim/solver layers in which no member "
+     "carries an URSA_CHECK-guarded depth bound; deep topologies or "
+     "adversarial inputs can overflow the stack"},
 };
 
 // --- context -------------------------------------------------------------
@@ -204,7 +219,7 @@ struct Ctx
     report(int line, const std::string &rule, const std::string &message)
     {
         if (!suppressedAt(*lxp, line, rule))
-            out.push_back({path, line, rule, message});
+            out.push_back({path, line, rule, message, {}});
     }
 
     // --- token helpers ---------------------------------------------------
@@ -628,12 +643,14 @@ ruleSuppressionReason(Ctx &ctx)
             ctx.out.push_back(
                 {ctx.path, line, "suppression-reason",
                  "allow() without a reason; write `// ursa-lint: "
-                 "allow(rule) <why this is sanctioned>`"});
+                 "allow(rule) <why this is sanctioned>`",
+                 {}});
         for (const std::string &r : allow.rules)
             if (!knownRule(r))
                 ctx.out.push_back({ctx.path, line, "suppression-reason",
                                    "allow() names unknown rule '" + r +
-                                       "'"});
+                                       "'",
+                                    {}});
     }
 }
 

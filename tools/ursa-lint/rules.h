@@ -19,12 +19,26 @@
 namespace ursa::lint
 {
 
+/**
+ * One step of an interprocedural witness (pass 3): a call site or
+ * taint source on the path that explains a finding. Rendered as
+ * indented `via` lines in text output and as SARIF relatedLocations.
+ */
+struct RelatedSite
+{
+    std::string path; ///< repo-relative, '/'-separated
+    int line;
+    std::string note; ///< "calls sim::Shard::run", "source: steady_clock"
+};
+
 struct Violation
 {
     std::string path; ///< repo-relative, '/'-separated
     int line;
     std::string rule;
     std::string message;
+    /// Witness chain for interprocedural findings (empty otherwise).
+    std::vector<RelatedSite> related;
 };
 
 /** One catalogue entry (for --list-rules and the docs). */
