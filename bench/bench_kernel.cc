@@ -12,10 +12,14 @@
  *   - the canonical single-simulation run (the PR-1 baseline config:
  *     one cluster, one client, seed 2024), whose event/request counts
  *     are bit-stable and pinned by scripts/bench_smoke.py;
- *   - with URSA_BENCH_SHARDS > 1, a sharded run: N independent copies
- *     of the app (shard 0 identical to the canonical run) co-advanced
- *     on ursa::exec via sim::ShardedSim. Counts are bit-identical for
- *     any URSA_THREADS; wall-clock scales with the thread count.
+ *   - with URSA_BENCH_SHARDS > 1, the connected-mesh run: ONE logical
+ *     social-network simulation whose default per-hop delays let
+ *     computeShardPlan cut it into one shard per service, co-advanced
+ *     with cross-shard event exchange (window = the plan lookahead).
+ *     Counts are bit-identical for any URSA_THREADS; the co-advance
+ *     window is fine (one hop delay), so this measures the
+ *     synchronization-bound regime of conservative PDES, not the
+ *     embarrassingly parallel disconnected fleet of PR 6.
  *
  * Results are written to build/bench_out/ by default so local runs
  * never clobber the checked-in reference; `--update-reference` appends
@@ -25,8 +29,9 @@
  * Environment:
  *   URSA_BENCH_REPS       repetitions (default 5; best rep is reported)
  *   URSA_BENCH_SIM_MIN    simulated minutes per rep (default 10)
- *   URSA_BENCH_SHARDS     independent app shards (default 8; 1 = only
- *                         the canonical single-simulation measurement)
+ *   URSA_BENCH_SHARDS     > 1 enables the connected-mesh measurement
+ *                         (the actual shard count comes from the plan;
+ *                         1 = only the single-simulation measurement)
  *   URSA_THREADS          worker threads for the sharded run
  *   URSA_EVENTQUEUE       kernel backend ("calendar" default, "heap")
  *   URSA_BENCH_OUT        output JSON path (default
@@ -117,44 +122,83 @@ struct Shard
 };
 
 RunResult
-runOnce(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
-        std::uint64_t seed, int shards)
+runSingleOnce(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
+              std::uint64_t seed)
 {
-    using namespace ursa;
-    std::vector<std::unique_ptr<Shard>> fleet;
-    sim::ShardedSim sim;
-    for (int k = 0; k < shards; ++k) {
-        // Shard 0 keeps the canonical seed; the rest decorrelate.
-        const std::uint64_t shardSeed =
-            k == 0 ? seed
-                   : seed + 1000003ULL * static_cast<std::uint64_t>(k);
-        fleet.push_back(std::make_unique<Shard>(app, shardSeed));
-        sim.addShard(*fleet.back()->cluster);
-    }
-
+    Shard shard(app, seed);
     const auto t0 = std::chrono::steady_clock::now();
-    sim.run(simSpan);
+    shard.cluster->run(simSpan);
     const auto t1 = std::chrono::steady_clock::now();
 
     RunResult r;
     r.wallSec = std::chrono::duration<double>(t1 - t0).count();
-    r.events = sim.eventsProcessed();
-    for (const auto &shard : fleet)
-        r.requests += shard->client->submitted();
+    r.events = shard.cluster->events().processed();
+    r.requests = shard.client->submitted();
+    return r;
+}
+
+/**
+ * The connected-mesh measurement: one logical canonical run, cut by
+ * computeShardPlan (default per-hop delays make every service its own
+ * shard group), client on the frontend's shard with the canonical
+ * seeds — so the workload is the exact single-run workload, executed
+ * across `plan.shards` co-advancing event queues.
+ */
+RunResult
+runMeshOnce(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
+            std::uint64_t seed, int &planShards)
+{
+    using namespace ursa;
+    std::vector<std::unique_ptr<sim::Cluster>> shards;
+    shards.push_back(std::make_unique<sim::Cluster>(seed));
+    app.instantiate(*shards[0]);
+    const sim::ShardPlan plan = sim::computeShardPlan(*shards[0]);
+    planShards = plan.shards;
+    for (int k = 1; k < plan.shards; ++k) {
+        shards.push_back(std::make_unique<sim::Cluster>(
+            seed + 1000003ULL * static_cast<std::uint64_t>(k)));
+        app.instantiate(*shards.back());
+    }
+    if (const char *s = std::getenv("URSA_TRACE_SAMPLING"))
+        for (auto &shard : shards)
+            shard->tracer().setSampling(std::atof(s));
+
+    sim::ShardedSim mesh;
+    for (auto &shard : shards)
+        mesh.addShard(*shard);
+    mesh.connectMesh(plan);
+
+    const int front = plan.serviceGroup[static_cast<std::size_t>(
+        shards[0]->serviceId("frontend"))];
+    sim::OpenLoopClient client(*shards[static_cast<std::size_t>(front)],
+                               workload::constantRate(app.nominalRps),
+                               sim::fixedMix(app.exploreMix), seed + 5);
+    client.start(0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    mesh.run(simSpan);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    r.events = mesh.eventsProcessed();
+    r.requests = client.submitted();
     return r;
 }
 
 RunResult
 bestOf(const ursa::apps::AppSpec &app, ursa::sim::SimTime simSpan,
-       long reps, int shards)
+       long reps, bool meshMode, int &planShards)
 {
     RunResult best;
     for (long i = 0; i < reps; ++i) {
-        const RunResult r = runOnce(app, simSpan, 2024, shards);
+        const RunResult r =
+            meshMode ? runMeshOnce(app, simSpan, 2024, planShards)
+                     : runSingleOnce(app, simSpan, 2024);
         std::printf(
             "  %-7s rep %ld: %8.3f s wall, %10llu events (%.3fM ev/s), "
             "%8llu requests (%.1fk req/s)\n",
-            shards > 1 ? "sharded" : "single", i, r.wallSec,
+            meshMode ? "mesh" : "single", i, r.wallSec,
             static_cast<unsigned long long>(r.events),
             r.eventsPerSec() / 1e6,
             static_cast<unsigned long long>(r.requests),
@@ -319,18 +363,21 @@ main(int argc, char **argv)
                 app.name.c_str(), simMin, reps, backend.c_str(), shards,
                 threads);
 
-    const RunResult single = bestOf(app, simSpan, reps, 1);
+    int planShards = 1;
+    const RunResult single = bestOf(app, simSpan, reps, false, planShards);
     const RunResult sharded =
-        shards > 1 ? bestOf(app, simSpan, reps, shards) : single;
+        shards > 1 ? bestOf(app, simSpan, reps, true, planShards) : single;
+    const int recordedShards = shards > 1 ? planShards : 1;
 
     std::printf("best single:  %.3fM events/s, %.1fk requests/s\n",
                 single.eventsPerSec() / 1e6,
                 single.requestsPerSec() / 1e3);
     if (shards > 1)
-        std::printf("best sharded: %.3fM events/s, %.1fk requests/s "
+        std::printf("best mesh:    %.3fM events/s, %.1fk requests/s "
                     "(%d shards, %d threads)\n",
                     sharded.eventsPerSec() / 1e6,
-                    sharded.requestsPerSec() / 1e3, shards, threads);
+                    sharded.requestsPerSec() / 1e3, recordedShards,
+                    threads);
 
     const std::filesystem::path out(outPath);
     if (out.has_parent_path()) {
@@ -344,7 +391,7 @@ main(int argc, char **argv)
        << "  \"sim_minutes\": " << simMin << ",\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"backend\": \"" << backend << "\",\n"
-       << "  \"shards\": " << shards << ",\n"
+       << "  \"shards\": " << recordedShards << ",\n"
        << "  \"threads\": " << threads << ",\n"
        << "  \"events\": " << single.events << ",\n"
        << "  \"requests\": " << single.requests << ",\n"
@@ -368,7 +415,8 @@ main(int argc, char **argv)
         const std::string label =
             envStr("URSA_BENCH_LABEL", "local update");
         const std::string entry = entryJson(
-            single, sharded, shards, threads, backend, label, "    ");
+            single, sharded, recordedShards, threads, backend, label,
+            "    ");
         if (appendTrajectoryEntry(URSA_BENCH_REFERENCE, entry)) {
             std::printf("appended trajectory entry to %s\n",
                         URSA_BENCH_REFERENCE);

@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include "check/check.h"
+#include "sim/cross_shard.h"
 #include "sim/event_queue.h"
 #include "sim/invocation.h"
 #include "sim/pool.h"
@@ -13,6 +14,29 @@
 
 namespace ursa::sim
 {
+
+namespace
+{
+
+/**
+ * Pool-backed record of one latency-bearing local call in flight: the
+ * delivery event and the delayed response resume both capture only
+ * {this, RefPtr} and stay inside the InlineCallback SBO buffer, so a
+ * nonzero `netDelayUs` adds no malloc to the dispatch hot path.
+ */
+struct NetHop
+{
+    RefState poolRef;
+
+    RequestPtr req;
+    EventQueue::Callback cont;
+    ServiceId target = -1;
+    SimTime delayUs = 0;
+    trace::SpanId parentSpan = trace::kNoSpan;
+    trace::HopKind hopKind = trace::HopKind::NestedRpc;
+};
+
+} // namespace
 
 Cluster::Cluster(std::uint64_t seed, SimTime metricsWindow)
     : rng_(seed), metrics_(metricsWindow),
@@ -148,8 +172,11 @@ Cluster::submit(ClassId c)
     if (!finalized_)
         throw std::logic_error("submit before finalize");
     const RequestClassSpec &spec = classes_.at(c);
+    URSA_CHECK(ownsService(rootService_[c]), "sim.cluster",
+               "submit on a shard that does not own the class's root "
+               "service");
     ++submitted_;
-    auto req = std::allocate_shared<Request>(PoolAllocator<Request>(pool_));
+    RequestPtr req = makeRef<Request>(*pool_);
     req->id = nextRequestId_++;
     req->classId = c;
     req->priority = spec.priority;
@@ -187,8 +214,7 @@ Cluster::makeInvocation(ServiceId target, const RequestPtr &req,
                                " has no behavior for class " +
                                classes_.at(req->classId).name);
     }
-    auto inv = std::allocate_shared<Invocation>(
-        PoolAllocator<Invocation>(pool_));
+    InvocationPtr inv = makeRef<Invocation>(*pool_);
     inv->req = req;
     inv->serviceId = target;
     inv->behavior = behavior;
@@ -205,7 +231,56 @@ Cluster::makeInvocation(ServiceId target, const RequestPtr &req,
 void
 Cluster::invoke(ServiceId target, const RequestPtr &req,
                 EventQueue::Callback onSyncDone, trace::SpanId parentSpan,
-                trace::HopKind hop)
+                trace::HopKind hop, SimTime netDelayUs)
+{
+    if (hub_ != nullptr && !ownsService(target)) {
+        // Cross-shard call: pin {req, continuation} locally, ship a
+        // POD message. The remote shard answers with SyncDone (resume
+        // the continuation) and BranchDone (remote async descendants
+        // all drained — release the async pin taken here).
+        URSA_CHECK(netDelayUs > 0, "sim.shard",
+                   "zero-latency call crosses a shard boundary "
+                   "(plan and mesh cut disagree)");
+        req->outstandingAsync += 1;
+        CrossShardMsg msg;
+        msg.kind = CrossShardMsg::Kind::Call;
+        msg.deliverAtUs = events_.now() + netDelayUs;
+        msg.netDelayUs = netDelayUs;
+        msg.target = target;
+        msg.classId = req->classId;
+        msg.priority = req->priority;
+        msg.srcShard = shardIndex_;
+        msg.callId = allocRemoteSlot(req, std::move(onSyncDone), 2);
+        hub_->crossSend(shardIndex_, serviceShard_[target], msg);
+        return;
+    }
+    if (netDelayUs > 0) {
+        // Latency-bearing local edge: deliver after the channel delay
+        // (arrival stamped at delivery), and delay the response resume
+        // by the same amount on the way back.
+        RefPtr<NetHop> rec = makeRef<NetHop>(*pool_);
+        rec->req = req;
+        rec->cont = std::move(onSyncDone);
+        rec->target = target;
+        rec->delayUs = netDelayUs;
+        rec->parentSpan = parentSpan;
+        rec->hopKind = hop;
+        events_.scheduleIn(netDelayUs, [this, rec] {
+            EventQueue::Callback resume = [this, rec] {
+                events_.scheduleIn(rec->delayUs, std::move(rec->cont));
+            };
+            deliver(rec->target, rec->req, std::move(resume),
+                    rec->parentSpan, rec->hopKind);
+        });
+        return;
+    }
+    deliver(target, req, std::move(onSyncDone), parentSpan, hop);
+}
+
+void
+Cluster::deliver(ServiceId target, const RequestPtr &req,
+                 EventQueue::Callback onSyncDone, trace::SpanId parentSpan,
+                 trace::HopKind hop)
 {
     InvocationPtr inv = makeInvocation(target, req, parentSpan, hop);
     inv->onSyncDone = std::move(onSyncDone);
@@ -215,14 +290,182 @@ Cluster::invoke(ServiceId target, const RequestPtr &req,
 
 void
 Cluster::publishTo(ServiceId target, const RequestPtr &req,
-                   trace::SpanId parentSpan)
+                   trace::SpanId parentSpan, SimTime netDelayUs)
 {
-    // Queue wait counts toward the tier, so arrival is at publish time.
+    if (hub_ != nullptr && !ownsService(target)) {
+        // The caller already took the async pin for this publish; the
+        // remote proxy's BranchDone releases it.
+        URSA_CHECK(netDelayUs > 0, "sim.shard",
+                   "zero-latency publish crosses a shard boundary "
+                   "(plan and mesh cut disagree)");
+        CrossShardMsg msg;
+        msg.kind = CrossShardMsg::Kind::Publish;
+        msg.deliverAtUs = events_.now() + netDelayUs;
+        msg.netDelayUs = netDelayUs;
+        msg.target = target;
+        msg.classId = req->classId;
+        msg.priority = req->priority;
+        msg.srcShard = shardIndex_;
+        msg.callId = allocRemoteSlot(req, EventQueue::Callback(), 1);
+        hub_->crossSend(shardIndex_, serviceShard_[target], msg);
+        return;
+    }
+    if (netDelayUs > 0) {
+        RefPtr<NetHop> rec = makeRef<NetHop>(*pool_);
+        rec->req = req;
+        rec->target = target;
+        rec->parentSpan = parentSpan;
+        events_.scheduleIn(netDelayUs, [this, rec] {
+            publishLocal(rec->target, rec->req, rec->parentSpan);
+        });
+        return;
+    }
+    publishLocal(target, req, parentSpan);
+}
+
+void
+Cluster::publishLocal(ServiceId target, const RequestPtr &req,
+                      trace::SpanId parentSpan)
+{
+    // Queue wait counts toward the tier, so arrival is at landing time.
     InvocationPtr inv = makeInvocation(target, req, parentSpan,
                                        trace::HopKind::MqPublish);
     inv->onSyncDone = [this, req] { asyncBranchDone(req); };
     metrics_.recordArrival(target, req->classId, events_.now());
     services_.at(target)->publish(std::move(inv));
+}
+
+void
+Cluster::attachShard(CrossShardHub &hub, int shardIndex,
+                     std::vector<int> serviceShard)
+{
+    if (!finalized_)
+        throw std::logic_error("attachShard before finalize");
+    if (serviceShard.size() != services_.size())
+        throw std::invalid_argument(
+            "attachShard: serviceShard size != service count");
+    hub_ = &hub;
+    shardIndex_ = shardIndex;
+    serviceShard_ = std::move(serviceShard);
+}
+
+std::uint32_t
+Cluster::allocRemoteSlot(const RequestPtr &req, EventQueue::Callback cont,
+                         int pending)
+{
+    std::uint32_t id;
+    if (!remoteFreeSlots_.empty()) {
+        id = remoteFreeSlots_.back();
+        remoteFreeSlots_.pop_back();
+    } else {
+        id = static_cast<std::uint32_t>(remoteSlots_.size());
+        remoteSlots_.emplace_back();
+    }
+    RemoteSlot &slot = remoteSlots_[id];
+    slot.req = req;
+    slot.cont = std::move(cont);
+    slot.pending = pending;
+    return id;
+}
+
+void
+Cluster::remoteSlotEvent(std::uint32_t callId, bool syncDone)
+{
+    RemoteSlot &slot = remoteSlots_.at(callId);
+    URSA_CHECK(slot.pending > 0, "sim.shard",
+               "cross-shard completion for an already-released call");
+    if (syncDone) {
+        EventQueue::Callback cont = std::move(slot.cont);
+        if (--slot.pending == 0) {
+            slot.req.reset();
+            remoteFreeSlots_.push_back(callId);
+        }
+        cont();
+    } else {
+        RequestPtr req = slot.req;
+        if (--slot.pending == 0) {
+            slot.req.reset();
+            slot.cont = EventQueue::Callback();
+            remoteFreeSlots_.push_back(callId);
+        }
+        asyncBranchDone(req);
+    }
+}
+
+void
+Cluster::injectCrossShard(const CrossShardMsg &msg)
+{
+    URSA_CHECK(msg.deliverAtUs > events_.now(), "sim.shard",
+               "cross-shard message delivers into the shard's past "
+               "(co-advance window exceeds the channel lookahead)");
+    switch (msg.kind) {
+    case CrossShardMsg::Kind::Call:
+    case CrossShardMsg::Kind::Publish:
+        events_.schedule(msg.deliverAtUs,
+                         [this, msg] { remoteDeliver(msg); });
+        break;
+    case CrossShardMsg::Kind::SyncDone:
+        events_.schedule(msg.deliverAtUs, [this, id = msg.callId] {
+            remoteSlotEvent(id, /*syncDone=*/true);
+        });
+        break;
+    case CrossShardMsg::Kind::BranchDone:
+        events_.schedule(msg.deliverAtUs, [this, id = msg.callId] {
+            remoteSlotEvent(id, /*syncDone=*/false);
+        });
+        break;
+    }
+}
+
+void
+Cluster::remoteDeliver(const CrossShardMsg &msg)
+{
+    // Build the destination-side proxy request: locally it looks like
+    // a freshly submitted request of the same class, but it is
+    // accounted in the remote counters, never traced, and excluded
+    // from end-to-end recording — the source shard owns the
+    // user-visible request.
+    ++remoteSubmitted_;
+    RequestPtr proxy = makeRef<Request>(*pool_);
+    proxy->id = nextRequestId_++;
+    proxy->classId = msg.classId;
+    proxy->priority = msg.priority;
+    proxy->submitTime = events_.now();
+    proxy->remoteLeg = true;
+    proxy->onFullyDone = [this, src = msg.srcShard, callId = msg.callId,
+                          d = msg.netDelayUs](Request &) {
+        CrossShardMsg done;
+        done.kind = CrossShardMsg::Kind::BranchDone;
+        done.deliverAtUs = events_.now() + d;
+        done.srcShard = shardIndex_;
+        done.callId = callId;
+        hub_->crossSend(shardIndex_, src, done);
+    };
+    if (msg.kind == CrossShardMsg::Kind::Publish) {
+        // The remote publisher holds one async pin for this branch;
+        // mirror it here so the proxy stays open until the consumer
+        // (and any descendants it spawns) finish.
+        proxy->syncDone = true;
+        proxy->syncDoneTime = events_.now();
+        proxy->outstandingAsync = 1;
+        publishLocal(msg.target, proxy, trace::kNoSpan);
+        return;
+    }
+    deliver(
+        msg.target, proxy,
+        [this, proxy, src = msg.srcShard, callId = msg.callId,
+         d = msg.netDelayUs] {
+            proxy->syncDone = true;
+            proxy->syncDoneTime = events_.now();
+            CrossShardMsg done;
+            done.kind = CrossShardMsg::Kind::SyncDone;
+            done.deliverAtUs = events_.now() + d;
+            done.srcShard = shardIndex_;
+            done.callId = callId;
+            hub_->crossSend(shardIndex_, src, done);
+            maybeFinishRequest(proxy);
+        },
+        trace::kNoSpan, trace::HopKind::NestedRpc);
 }
 
 void
@@ -240,6 +483,18 @@ Cluster::maybeFinishRequest(const RequestPtr &req)
     if (!req->fullyDone() || req->allDoneTime >= 0)
         return;
     req->allDoneTime = events_.now();
+    if (req->remoteLeg) {
+        // Destination-side proxy of a cross-shard call: accounted in
+        // the remote counters and invisible to end-to-end metrics; the
+        // onFullyDone hook ships BranchDone back to the source shard.
+        ++remoteCompleted_;
+        URSA_CHECK(remoteCompleted_ <= remoteSubmitted_, "sim.cluster",
+                   "remote-leg conservation violation: completed > "
+                   "injected");
+        if (req->onFullyDone)
+            req->onFullyDone(*req);
+        return;
+    }
     ++completed_;
     URSA_CHECK(completed_ <= submitted_, "sim.cluster",
                "request conservation violation: completed > injected");
@@ -300,6 +555,12 @@ Cluster::auditConservation(bool expectQuiescent) const
     URSA_CHECK(inFlight() == 0, "sim.cluster",
                "request conservation violation at drain: "
                "injected != completed");
+    URSA_CHECK(remoteSubmitted_ == remoteCompleted_, "sim.cluster",
+               "remote-leg conservation violation at drain: "
+               "injected != completed");
+    URSA_CHECK(remoteFreeSlots_.size() == remoteSlots_.size(),
+               "sim.cluster",
+               "cross-shard call slots still pinned at drain");
     for (const auto &svc : services_) {
         URSA_CHECK(svc->mqDepth() == 0, "sim.cluster",
                    "message queue non-empty at drain");

@@ -14,6 +14,7 @@
 #define URSA_SIM_CLUSTER_H
 
 #include "check/check.h"
+#include "sim/cross_shard.h"
 #include "sim/event_queue.h"
 #include "sim/invocation.h"
 #include "sim/metrics.h"
@@ -94,19 +95,64 @@ class Cluster
     /**
      * Invoke `target` for `req`; `onSyncDone` resumes the caller.
      * `parentSpan`/`hop` link the new hop's span to the caller's when
-     * the request is traced (ignored otherwise).
+     * the request is traced (ignored otherwise). `netDelayUs` is the
+     * one-way channel delay of the edge being traversed: the request
+     * is delivered (and the invocation created, its arrival stamped)
+     * `netDelayUs` later, and the response delays the continuation by
+     * the same amount on the way back. 0 keeps the historical
+     * in-process zero-latency dispatch. When the target service is
+     * owned by another shard of a mesh run (attachShard), the call is
+     * emitted as a cross-shard message instead.
      */
     void invoke(ServiceId target, const RequestPtr &req,
                 EventQueue::Callback onSyncDone,
                 trace::SpanId parentSpan = trace::kNoSpan,
-                trace::HopKind hop = trace::HopKind::NestedRpc);
+                trace::HopKind hop = trace::HopKind::NestedRpc,
+                SimTime netDelayUs = 0);
 
-    /** Publish `req` onto `target`'s message queue (async branch). */
+    /**
+     * Publish `req` onto `target`'s message queue (async branch). The
+     * message lands on the queue `netDelayUs` after the publish; the
+     * arrival (queue wait starts) is stamped at landing.
+     */
     void publishTo(ServiceId target, const RequestPtr &req,
-                   trace::SpanId parentSpan = trace::kNoSpan);
+                   trace::SpanId parentSpan = trace::kNoSpan,
+                   SimTime netDelayUs = 0);
 
     /** An async branch of `req` finished. */
     void asyncBranchDone(const RequestPtr &req);
+
+    // --- mesh sharding (used by ShardedSim) ----------------------------
+
+    /**
+     * Attach this cluster as shard `shardIndex` of a sharded mesh run.
+     * `serviceShard[s]` names the shard owning service `s`; dispatches
+     * to services owned elsewhere are emitted through `hub` as
+     * cross-shard messages (sim/cross_shard.h) instead of handled
+     * locally. Call after finalize(), before any submit().
+     */
+    void attachShard(CrossShardHub &hub, int shardIndex,
+                     std::vector<int> serviceShard);
+
+    /** Shard index of this cluster in a mesh run (0 otherwise). */
+    int shardIndex() const { return shardIndex_; }
+
+    /** True when `s` is handled by this cluster (always true unless
+     *  attached to a mesh). */
+    bool ownsService(ServiceId s) const
+    {
+        return serviceShard_.empty() ||
+               serviceShard_[static_cast<std::size_t>(s)] == shardIndex_;
+    }
+
+    /**
+     * Schedule one inbound cross-shard message. Called by the mesh
+     * coordinator between co-advance windows, in deterministic
+     * (deliverAt, source shard, emission order) order. Fires a
+     * "sim.shard" violation if the message would deliver into this
+     * shard's past — i.e. the co-advance window exceeded the lookahead.
+     */
+    void injectCrossShard(const CrossShardMsg &msg);
 
     // --- infrastructure ------------------------------------------------
 
@@ -140,6 +186,14 @@ class Cluster
     std::uint64_t inFlight() const { return submitted_ - completed_; }
 
     /**
+     * Remote-leg proxy requests served on behalf of other shards.
+     * Accounted separately from submitted()/completed() so per-shard
+     * user-request counts remain comparable to a single-cluster run.
+     */
+    std::uint64_t remoteSubmitted() const { return remoteSubmitted_; }
+    std::uint64_t remoteCompleted() const { return remoteCompleted_; }
+
+    /**
      * Audit request conservation: injected == completed + in-flight,
      * counters monotone. With `expectQuiescent` (callers stopped and
      * the sim drained) additionally require in-flight == 0 and every
@@ -164,10 +218,28 @@ class Cluster
     InvocationPtr makeInvocation(ServiceId target, const RequestPtr &req,
                                  trace::SpanId parentSpan,
                                  trace::HopKind hop);
+    /// Zero-latency tail of invoke(): create the invocation at the
+    /// current time and hand it to the target service.
+    void deliver(ServiceId target, const RequestPtr &req,
+                 EventQueue::Callback onSyncDone, trace::SpanId parentSpan,
+                 trace::HopKind hop);
+    /// Zero-latency tail of publishTo().
+    void publishLocal(ServiceId target, const RequestPtr &req,
+                      trace::SpanId parentSpan);
+    /// Act on an inbound Call/Publish at its delivery time: build the
+    /// remote-leg proxy request and dispatch it locally.
+    void remoteDeliver(const CrossShardMsg &msg);
+    /// Pin {req, continuation} while a cross-shard call is in flight.
+    std::uint32_t allocRemoteSlot(const RequestPtr &req,
+                                  EventQueue::Callback cont, int pending);
+    void remoteSlotEvent(std::uint32_t callId, bool syncDone);
 
-    EventQueue events_;
     /// Freelist arena recycling Request/Invocation nodes (hot path).
+    /// Declared before the event queue (and every other member that
+    /// can hold a RefPtr) so pending callbacks release their pooled
+    /// objects into a still-live arena during destruction.
     std::shared_ptr<PoolArena> pool_ = std::make_shared<PoolArena>();
+    EventQueue events_;
     stats::Rng rng_;
     MetricsRegistry metrics_;
     trace::Tracer tracer_;
@@ -199,6 +271,27 @@ class Cluster
     std::uint64_t nextRequestId_ = 1;
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
+
+    // Mesh sharding (attachShard): outbound hub, this cluster's shard
+    // index, and the owning shard of every service (empty when not
+    // attached — everything is local).
+    CrossShardHub *hub_ = nullptr;
+    int shardIndex_ = 0;
+    std::vector<int> serviceShard_;
+    /// In-flight outbound cross-shard calls: the source-side request
+    /// and continuation, pinned until the remote shard answers.
+    /// `pending` counts the completions still expected (SyncDone +
+    /// BranchDone for a Call, BranchDone only for a Publish).
+    struct RemoteSlot
+    {
+        RequestPtr req;
+        EventQueue::Callback cont;
+        int pending = 0;
+    };
+    std::vector<RemoteSlot> remoteSlots_;
+    std::vector<std::uint32_t> remoteFreeSlots_;
+    std::uint64_t remoteSubmitted_ = 0;
+    std::uint64_t remoteCompleted_ = 0;
 };
 
 } // namespace ursa::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cross-shard message vocabulary for the windowed-sharded simulator.
+ *
+ * When one connected mesh is cut into shards (sim/shard.h), every
+ * inter-service call whose endpoints live on different shards becomes
+ * a pair of POD messages instead of a direct dispatch: a Call (or
+ * Publish) travelling source -> destination, and a SyncDone /
+ * BranchDone notification travelling back. Messages carry value types
+ * only — no pointers ever cross a shard boundary, which is what keeps
+ * each Cluster's pool arena and refcounts single-threaded.
+ *
+ * Delivery times obey the conservative-lookahead contract: a message
+ * emitted during the window ending at t1 has deliverAtUs > t1 whenever
+ * the co-advance window is clamped to the minimum cross-shard channel
+ * delay, so injecting it before the next window never schedules into a
+ * shard's past. Cluster enforces this with a URSA_CHECK at injection.
+ */
+
+#ifndef URSA_SIM_CROSS_SHARD_H
+#define URSA_SIM_CROSS_SHARD_H
+
+#include "sim/time.h"
+#include "sim/types.h"
+
+#include <cstdint>
+
+namespace ursa::sim
+{
+
+/** One unit of cross-shard traffic. */
+struct CrossShardMsg
+{
+    enum class Kind : std::uint8_t
+    {
+        Call,       ///< nested/event RPC into a remote service
+        Publish,    ///< MQ publish onto a remote consumer's queue
+        SyncDone,   ///< remote synchronous subtree finished
+        BranchDone, ///< remote async descendants all finished
+    };
+
+    /** Simulated time at which the destination shard acts on it. */
+    SimTime deliverAtUs = 0;
+    /** Channel delay of the originating edge (round-trip bookkeeping). */
+    SimTime netDelayUs = 0;
+    /** Target service (Call/Publish; destination-shard id space). */
+    ServiceId target = -1;
+    /** Request class and priority of the originating request. */
+    ClassId classId = 0;
+    int priority = 0;
+    /** Shard that emitted the message (where replies go). */
+    int srcShard = 0;
+    /** Source-shard slot pinning {request, continuation} (Call/Publish)
+     *  — echoed back verbatim in SyncDone/BranchDone. */
+    std::uint32_t callId = 0;
+    Kind kind = Kind::Call;
+};
+
+/**
+ * Outbound mailbox interface a Cluster uses to emit cross-shard
+ * traffic. Implemented by ShardedSim: `from`/`to` are shard indexes,
+ * each (from, to) mailbox is written only by shard `from`'s thread
+ * within a window and drained by the coordinator between windows, in
+ * deterministic (deliverAt, source shard, emission order) order.
+ */
+class CrossShardHub
+{
+  public:
+    virtual ~CrossShardHub() = default;
+
+    virtual void crossSend(int from, int to, const CrossShardMsg &msg) = 0;
+};
+
+} // namespace ursa::sim
+
+#endif // URSA_SIM_CROSS_SHARD_H

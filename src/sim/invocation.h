@@ -10,6 +10,7 @@
 #define URSA_SIM_INVOCATION_H
 
 #include "sim/callback.h"
+#include "sim/pool.h"
 #include "sim/time.h"
 #include "sim/types.h"
 #include "trace/span.h"
@@ -24,6 +25,8 @@ class Replica;
 /** One service's handling of one request. */
 struct Invocation
 {
+    RefState poolRef;
+
     RequestPtr req;
     ServiceId serviceId = -1;
     const ClassBehavior *behavior = nullptr;
@@ -58,7 +61,7 @@ struct Invocation
     InlineCallback onSyncDone;
 };
 
-using InvocationPtr = std::shared_ptr<Invocation>;
+using InvocationPtr = RefPtr<Invocation>;
 
 } // namespace ursa::sim
 

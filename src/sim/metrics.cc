@@ -52,34 +52,64 @@ void
 MetricsRegistry::recordTierLatency(ServiceId s, ClassId c, SimTime at,
                                    SimTime lat)
 {
-    services_.at(s).tierLat.at(c).add(at, static_cast<double>(lat));
+    checkIds(s, c);
+    stage({at, lat, s, c, PendingRec::Kind::TierLatency});
 }
 
 void
 MetricsRegistry::recordEndToEnd(ClassId c, SimTime at, SimTime lat)
 {
-    PerClass &pc = classes_.at(c);
-    pc.e2e.add(at, static_cast<double>(lat));
-    ++pc.completed;
-    const SimTime wstart = (at / window_) * window_;
-    auto &[done, bad] = pc.byWindow[wstart];
-    ++done;
-    if (lat > pc.sla.targetUs) {
-        ++pc.violated;
-        ++bad;
-    }
+    checkIds(-1, c);
+    stage({at, lat, -1, c, PendingRec::Kind::EndToEnd});
 }
 
 void
 MetricsRegistry::recordArrival(ServiceId s, ClassId c, SimTime at)
 {
-    services_.at(s).arrivals.at(c).add(at, 1.0);
+    checkIds(s, c);
+    stage({at, 0, s, c, PendingRec::Kind::Arrival});
+}
+
+void
+MetricsRegistry::applyPending()
+{
+    for (const PendingRec &rec : pending_) {
+        switch (rec.kind) {
+        case PendingRec::Kind::TierLatency:
+            services_.at(rec.service)
+                .tierLat.at(rec.classId)
+                .add(rec.at, static_cast<double>(rec.lat));
+            break;
+        case PendingRec::Kind::EndToEnd: {
+            PerClass &pc = classes_.at(rec.classId);
+            pc.e2e.add(rec.at, static_cast<double>(rec.lat));
+            ++pc.completed;
+            const SimTime wstart = (rec.at / window_) * window_;
+            auto &[done, bad] = pc.byWindow[wstart];
+            ++done;
+            if (rec.lat > pc.sla.targetUs) {
+                ++pc.violated;
+                ++bad;
+            }
+            break;
+        }
+        case PendingRec::Kind::Arrival:
+            services_.at(rec.service)
+                .arrivals.at(rec.classId)
+                .add(rec.at, 1.0);
+            break;
+        }
+    }
+    pending_.clear();
 }
 
 void
 MetricsRegistry::recordBusySample(ServiceId s, SimTime at,
                                   double cumBusyCoreUs)
 {
+    // Sampler ticks are the periodic batch boundary: bound the staged
+    // buffer's staleness even when nothing queries between windows.
+    flushPending();
     services_.at(s).busy.append(at, cumBusyCoreUs);
 }
 
@@ -98,18 +128,21 @@ MetricsRegistry::recordReplicaCount(ServiceId s, SimTime at, int n)
 const stats::WindowAggregator &
 MetricsRegistry::tierLatency(ServiceId s, ClassId c) const
 {
+    flushPending();
     return services_.at(s).tierLat.at(c);
 }
 
 const stats::WindowAggregator &
 MetricsRegistry::endToEnd(ClassId c) const
 {
+    flushPending();
     return classes_.at(c).e2e;
 }
 
 const stats::WindowAggregator &
 MetricsRegistry::arrivals(ServiceId s, ClassId c) const
 {
+    flushPending();
     return services_.at(s).arrivals.at(c);
 }
 
@@ -117,6 +150,7 @@ double
 MetricsRegistry::arrivalRate(ServiceId s, ClassId c, SimTime from,
                              SimTime to) const
 {
+    flushPending();
     if (to <= from)
         return 0.0;
     // Edge windows overlap the range only partially; counting them in
@@ -209,6 +243,7 @@ windowViolations(const stats::WindowAggregator &agg, const SlaSpec &sla,
 double
 MetricsRegistry::slaViolationRate(ClassId c, SimTime from, SimTime to) const
 {
+    flushPending();
     const PerClass &pc = classes_.at(c);
     const auto [total, bad] =
         windowViolations(pc.e2e, pc.sla, window_, from, to);
@@ -218,6 +253,7 @@ MetricsRegistry::slaViolationRate(ClassId c, SimTime from, SimTime to) const
 double
 MetricsRegistry::overallSlaViolationRate(SimTime from, SimTime to) const
 {
+    flushPending();
     double total = 0.0, bad = 0.0;
     for (const PerClass &pc : classes_) {
         const auto [t, b] =
@@ -236,6 +272,7 @@ MetricsRegistry::requestViolationRate(ClassId c, SimTime from,
     // ratio of request counts with no division by the range's span, so
     // the pro-rata clipping that arrivalRate and windowViolations need
     // would only distort which requests are counted.
+    flushPending();
     const PerClass &pc = classes_.at(c);
     std::uint64_t done = 0, bad = 0;
     for (const auto &[wstart, counts] : pc.byWindow) {

@@ -16,13 +16,27 @@
 #include "stats/timeseries.h"
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ursa::sim
 {
 
-/** Central, windowed metrics store for one cluster. */
+/**
+ * Central, windowed metrics store for one cluster.
+ *
+ * The per-event recording calls (tier latency, end-to-end, arrival —
+ * several per simulated request) are the hot path: each lands in a
+ * windowed aggregator behind two bounds-checked lookups plus, for
+ * end-to-end records, a per-window map probe. To keep the dispatch
+ * loop lean they are staged into a small POD buffer and applied in
+ * order at batch boundaries: when the buffer fills, at every busy-
+ * sample tick, and lazily before any query reads an aggregate. The
+ * flush preserves recording order exactly, so every aggregate (and
+ * every reservoir-sampling RNG draw) is bit-identical to unbatched
+ * recording — batching moves work, it never changes results.
+ */
 class MetricsRegistry
 {
   public:
@@ -143,9 +157,61 @@ class MetricsRegistry
 
     void growClassVectors();
 
+    /// One staged hot-path record (recording order == buffer order).
+    struct PendingRec
+    {
+        SimTime at;
+        SimTime lat;       ///< unused for Arrival
+        ServiceId service; ///< unused for EndToEnd
+        ClassId classId;
+        enum class Kind : std::uint8_t
+        {
+            TierLatency,
+            EndToEnd,
+            Arrival,
+        } kind;
+    };
+    /// Flush threshold: ~6 KiB of staged records, small enough to stay
+    /// cache-resident, large enough to amortize the aggregator walks.
+    static constexpr std::size_t kPendingFlush = 256;
+
+    /** Apply every staged record, in order. */
+    void flushPending() const
+    {
+        if (!pending_.empty())
+            const_cast<MetricsRegistry *>(this)->applyPending();
+    }
+
+    void applyPending();
+
+    /**
+     * Eager id validation at record time. Staging defers the aggregator
+     * walk (and its bounds-checked `.at()`) to the flush, which would
+     * turn a caller's bad id into a delayed, hard-to-attribute throw;
+     * two compares here keep the original throwing contract at the call
+     * site while staying branch-predictable in the hot path.
+     */
+    void
+    checkIds(ServiceId s, ClassId c) const
+    {
+        if (s >= 0 && static_cast<std::size_t>(s) >= services_.size())
+            throw std::out_of_range("MetricsRegistry: service id out of range");
+        if (c < 0 || static_cast<std::size_t>(c) >= classes_.size())
+            throw std::out_of_range("MetricsRegistry: class id out of range");
+    }
+
+    void
+    stage(const PendingRec &rec)
+    {
+        pending_.push_back(rec);
+        if (pending_.size() >= kPendingFlush)
+            applyPending();
+    }
+
     SimTime window_;
     std::vector<PerService> services_;
     std::vector<PerClass> classes_;
+    std::vector<PendingRec> pending_;
 };
 
 } // namespace ursa::sim

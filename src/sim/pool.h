@@ -1,14 +1,23 @@
 /**
  * @file
- * A size-bucketed freelist arena and a matching std allocator, used via
- * `std::allocate_shared` to recycle the control-block+object nodes of
- * Request and Invocation — the two allocations made per submit/invoke
- * on the kernel's hot path. After warm-up the path is malloc-free.
+ * A size-bucketed freelist arena plus the intrusive reference-counted
+ * smart pointer (`RefPtr` / `makeRef`) that manages Request and
+ * Invocation — the two allocations made per submit/invoke on the
+ * kernel's hot path. After warm-up the path is malloc-free, and unlike
+ * the `std::allocate_shared` scheme this replaced there is no control
+ * block and no atomic refcount traffic: the count is a plain uint32
+ * embedded in the object (`RefState`), legal because each Cluster's
+ * event loop is single-threaded and pooled objects never cross shard
+ * boundaries (cross-shard traffic is POD messages, see cross_shard.h).
  *
- * The arena is single-threaded by design: each Cluster owns one and
- * every allocation/deallocation happens on the thread driving that
- * cluster's event loop. Allocators keep the arena alive via shared_ptr
- * (a shared_ptr<Request> may legitimately outlive its Cluster).
+ * Ownership contract (checked at URSA_CHECK_LEVEL >= 1 in ~PoolArena):
+ * RefPtr-managed objects must not outlive the Cluster whose arena they
+ * came from. Tests that hold a RequestPtr across a run keep the
+ * Cluster alive, which every existing caller already does.
+ *
+ * `PoolAllocator` (std allocator over the arena) remains for code that
+ * wants pooled nodes for its own types via std containers or
+ * allocate_shared.
  */
 
 #ifndef URSA_SIM_POOL_H
@@ -21,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <utility>
 #include <vector>
 
 namespace ursa::sim
@@ -45,10 +55,29 @@ class URSA_SINGLE_THREADED PoolArena
 
     ~PoolArena()
     {
+#if URSA_CHECK_LEVEL >= 1
+        URSA_CHECK(liveRefObjects_ == 0, "sim.pool",
+                   "RefPtr-managed objects outlive their arena");
+#endif
         for (auto &bucket : free_)
             for (void *p : bucket)
                 ::operator delete(p);
     }
+
+#if URSA_CHECK_LEVEL >= 1
+    /// RefPtr-managed objects currently alive (makeRef bookkeeping).
+    void
+    noteRefAlloc() noexcept
+    {
+        ++liveRefObjects_;
+    }
+
+    void
+    noteRefFree() noexcept
+    {
+        --liveRefObjects_;
+    }
+#endif
 
 #if URSA_CHECK_LEVEL >= 1
 
@@ -160,7 +189,158 @@ class URSA_SINGLE_THREADED PoolArena
     }
 
     std::vector<void *> free_[kMaxBlock / kGranularity];
+
+#if URSA_CHECK_LEVEL >= 1
+    std::int64_t liveRefObjects_ = 0;
+#endif
 };
+
+/**
+ * Intrusive refcount state embedded in every RefPtr-managed object as
+ * a public member named `poolRef`. Non-atomic by design: see the file
+ * comment for the single-threaded ownership contract.
+ */
+struct RefState
+{
+    std::uint32_t refs = 0;
+    PoolArena *arena = nullptr;
+};
+
+/**
+ * Intrusive, non-atomic, pool-backed shared pointer.
+ *
+ * 8 bytes (a shared_ptr is 16), copy is a plain increment (no
+ * lock-prefixed RMW), and destruction returns the block straight to
+ * the owning arena's freelist. Requires `T` to expose a `RefState
+ * poolRef` member; create instances with `makeRef<T>(arena, ...)`.
+ */
+template <typename T>
+class RefPtr
+{
+  public:
+    RefPtr() = default;
+    RefPtr(std::nullptr_t) {}
+
+    /** Adopt an object whose refcount already accounts for this ref. */
+    static RefPtr
+    adopt(T *obj)
+    {
+        RefPtr p;
+        p.ptr_ = obj;
+        return p;
+    }
+
+    RefPtr(const RefPtr &other) : ptr_(other.ptr_)
+    {
+        if (ptr_ != nullptr)
+            ++ptr_->poolRef.refs;
+    }
+
+    RefPtr(RefPtr &&other) noexcept : ptr_(other.ptr_)
+    {
+        other.ptr_ = nullptr;
+    }
+
+    RefPtr &
+    operator=(const RefPtr &other)
+    {
+        RefPtr tmp(other);
+        std::swap(ptr_, tmp.ptr_);
+        return *this;
+    }
+
+    RefPtr &
+    operator=(RefPtr &&other) noexcept
+    {
+        std::swap(ptr_, other.ptr_);
+        return *this;
+    }
+
+    ~RefPtr() { release(); }
+
+    void
+    reset()
+    {
+        release();
+        ptr_ = nullptr;
+    }
+
+    T *
+    get() const
+    {
+        return ptr_;
+    }
+
+    T &
+    operator*() const
+    {
+        return *ptr_;
+    }
+
+    T *
+    operator->() const
+    {
+        return ptr_;
+    }
+
+    explicit operator bool() const { return ptr_ != nullptr; }
+
+    bool
+    operator==(const RefPtr &other) const
+    {
+        return ptr_ == other.ptr_;
+    }
+
+    bool
+    operator!=(const RefPtr &other) const
+    {
+        return ptr_ != other.ptr_;
+    }
+
+    /** Current reference count (0 for an empty pointer). */
+    std::uint32_t
+    useCount() const
+    {
+        return ptr_ != nullptr ? ptr_->poolRef.refs : 0;
+    }
+
+  private:
+    void
+    release() noexcept
+    {
+        if (ptr_ == nullptr)
+            return;
+        if (--ptr_->poolRef.refs == 0) {
+            PoolArena *arena = ptr_->poolRef.arena;
+#if URSA_CHECK_LEVEL >= 1
+            arena->noteRefFree();
+#endif
+            ptr_->~T();
+            arena->deallocate(ptr_, sizeof(T));
+        }
+    }
+
+    T *ptr_ = nullptr;
+};
+
+/**
+ * Construct a pool-backed, RefPtr-managed `T`. The object is placement
+ * -new'd into an arena block; its embedded `poolRef` is initialized to
+ * one reference owned by the returned pointer.
+ */
+template <typename T, typename... Args>
+RefPtr<T>
+makeRef(PoolArena &arena, Args &&...args)
+{
+    void *mem = arena.allocate(sizeof(T));
+    T *obj = new (mem) T(static_cast<Args &&>(args)...);
+    obj->poolRef.refs = 1;
+    obj->poolRef.arena = &arena;
+#if URSA_CHECK_LEVEL >= 1
+    arena.noteRefAlloc();
+#endif
+    return RefPtr<T>::adopt(obj);
+}
 
 /** std allocator over a shared PoolArena (for allocate_shared). */
 template <typename T>

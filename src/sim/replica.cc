@@ -101,8 +101,7 @@ Replica::begin(InvocationPtr inv)
     // from service time.
     inv->serviceStart = svc_.cluster().events().now();
     auto &rng = svc_.cluster().rng();
-    const double work =
-        rng.lognormal(inv->behavior->computeMeanUs, inv->behavior->computeCv);
+    const double work = rng.lognormal(inv->behavior->computeParams);
     cpuSubmit(work, [this, inv] { advance(inv); });
 }
 
@@ -119,9 +118,8 @@ Replica::advance(const InvocationPtr &inv)
     if (inv->callIdx >= inv->behavior->calls.size()) {
         // Post-compute phase, then finish.
         if (inv->behavior->postComputeMeanUs > 0.0) {
-            const double work = cluster.rng().lognormal(
-                inv->behavior->postComputeMeanUs,
-                inv->behavior->postComputeCv);
+            const double work =
+                cluster.rng().lognormal(inv->behavior->postComputeParams);
             // Consume the phase so re-entry goes straight to finish.
             auto done = [this, inv] { finish(inv); };
             cpuSubmit(work, std::move(done));
@@ -152,7 +150,8 @@ Replica::advance(const InvocationPtr &inv)
             const ServiceId tgt = (*inv->targets)[k];
             if (calls[k].kind == CallKind::MqPublish) {
                 inv->req->outstandingAsync += 1;
-                c.publishTo(tgt, inv->req, inv->span);
+                c.publishTo(tgt, inv->req, inv->span,
+                            calls[k].netDelayUs);
                 continue;
             }
             ++*pendingJoins;
@@ -165,7 +164,8 @@ Replica::advance(const InvocationPtr &inv)
             }, inv->span,
             calls[k].kind == CallKind::EventRpc
                 ? trace::HopKind::EventRpc
-                : trace::HopKind::NestedRpc);
+                : trace::HopKind::NestedRpc,
+            calls[k].netDelayUs);
         }
         if (*pendingJoins == 0)
             advance(inv); // only fire-and-forget calls
@@ -183,7 +183,7 @@ Replica::advance(const InvocationPtr &inv)
             inv->blockedUs += svc_.cluster().events().now() - t0;
             ++inv->callIdx;
             advance(inv);
-        }, inv->span, trace::HopKind::NestedRpc);
+        }, inv->span, trace::HopKind::NestedRpc, call.netDelayUs);
         return;
       }
       case CallKind::EventRpc: {
@@ -198,11 +198,11 @@ Replica::advance(const InvocationPtr &inv)
                 inv->blockedUs += svc_.cluster().events().now() - t0;
                 ++inv->callIdx;
                 advance(inv);
-            }, inv->span, trace::HopKind::EventRpc);
+            }, inv->span, trace::HopKind::EventRpc, call.netDelayUs);
             return;
         }
         inv->onDaemon = true;
-        daemonSubmit([this, inv, target] {
+        daemonSubmit([this, inv, target, d = call.netDelayUs] {
             // S0 of an event-driven tier: the daemon issues the
             // downstream call now; record the tier latency here
             // (queue wait + compute + daemon-dispatch wait).
@@ -218,7 +218,7 @@ Replica::advance(const InvocationPtr &inv)
                 inv->blockedUs += svc_.cluster().events().now() - t0;
                 ++inv->callIdx;
                 advance(inv);
-            }, inv->span, trace::HopKind::EventRpc);
+            }, inv->span, trace::HopKind::EventRpc, d);
         });
         // The worker is free while the daemon waits.
         releaseWorker();
@@ -226,7 +226,7 @@ Replica::advance(const InvocationPtr &inv)
       }
       case CallKind::MqPublish: {
         inv->req->outstandingAsync += 1;
-        cluster.publishTo(target, inv->req, inv->span);
+        cluster.publishTo(target, inv->req, inv->span, call.netDelayUs);
         ++inv->callIdx;
         advance(inv);
         return;

@@ -3,6 +3,7 @@
 #include "sim/cluster.h"
 #include "sim/invocation.h"
 #include "sim/types.h"
+#include "stats/rng.h"
 
 #include <cassert>
 #include <stdexcept>
@@ -21,6 +22,12 @@ Service::Service(Cluster &cluster, ServiceConfig cfg, ServiceId id)
         for (const CallSpec &call : behavior.calls)
             if (call.kind == CallKind::EventRpc)
                 behavior.hasEventCall = true;
+        // Derive the (mu, sigma) pairs once so the per-sample hot path
+        // skips the log/sqrt re-derivation.
+        behavior.computeParams = stats::LognormalParams::fromMeanCv(
+            behavior.computeMeanUs, behavior.computeCv);
+        behavior.postComputeParams = stats::LognormalParams::fromMeanCv(
+            behavior.postComputeMeanUs, behavior.postComputeCv);
     }
     for (int i = 0; i < cfg_.initialReplicas; ++i)
         replicas_.push_back(std::make_unique<Replica>(*this, i));

@@ -3,6 +3,7 @@
 #include "check/check.h"
 #include "exec/thread_pool.h"
 #include "sim/cluster.h"
+#include "sim/cross_shard.h"
 #include "sim/time.h"
 #include "sim/types.h"
 
@@ -47,15 +48,17 @@ computeShardPlan(const Cluster &cluster)
     for (int s = 0; s < numServices; ++s)
         parent[s] = s;
 
-    // Undirected closure of "s calls t" over every class behavior.
-    // Call targets are resolved by name so this works off the public
-    // config surface alone.
+    // Undirected closure of "s calls t at zero latency" over every
+    // class behavior: only edges with no lookahead force their
+    // endpoints into one event queue. Call targets are resolved by
+    // name so this works off the public config surface alone.
     for (ServiceId s = 0; s < numServices; ++s) {
         const ServiceConfig &cfg = cluster.service(s).config();
         for (const auto &[cls, behavior] : cfg.behaviors) {
             (void)cls;
             for (const CallSpec &call : behavior.calls)
-                unite(parent, s, cluster.serviceId(call.target));
+                if (call.netDelayUs == 0)
+                    unite(parent, s, cluster.serviceId(call.target));
         }
     }
 
@@ -76,6 +79,25 @@ computeShardPlan(const Cluster &cluster)
             cluster.serviceId(cluster.classSpec(c).rootService);
         plan.classGroup[c] = plan.serviceGroup[root];
     }
+
+    // Lookahead-model report: the mesh's conservative lookahead is the
+    // minimum delay over the edges left crossing groups (kNoLink when
+    // the groups are fully disconnected).
+    for (ServiceId s = 0; s < numServices; ++s) {
+        const ServiceConfig &cfg = cluster.service(s).config();
+        for (const auto &[cls, behavior] : cfg.behaviors) {
+            (void)cls;
+            for (const CallSpec &call : behavior.calls) {
+                const ServiceId t = cluster.serviceId(call.target);
+                if (plan.serviceGroup[s] == plan.serviceGroup[t])
+                    continue;
+                URSA_CHECK(call.netDelayUs > 0, "sim.shard",
+                           "zero-latency edge crosses shard groups");
+                plan.lookaheadUs =
+                    std::min(plan.lookaheadUs, call.netDelayUs);
+            }
+        }
+    }
     return plan;
 }
 
@@ -90,7 +112,70 @@ ShardedSim::addShard(Cluster &cluster)
 {
     URSA_CHECK(now_ == 0, "sim.shard",
                "shard added after the sharded run started");
+    URSA_CHECK(!mesh_, "sim.shard", "shard added after connectMesh");
     shards_.push_back(&cluster);
+}
+
+void
+ShardedSim::connectMesh(const ShardPlan &plan)
+{
+    if (mesh_)
+        throw std::logic_error("connectMesh called twice");
+    if (now_ != 0)
+        throw std::logic_error("connectMesh after the run started");
+    if (static_cast<int>(shards_.size()) != plan.shards)
+        throw std::invalid_argument(
+            "connectMesh: shard count does not match the plan");
+    mesh_ = true;
+    lookahead_ = plan.lookaheadUs;
+    window_ = std::min(window_, lookahead_);
+    mail_.assign(shards_.size(),
+                 std::vector<std::vector<CrossShardMsg>>(shards_.size()));
+    for (std::size_t k = 0; k < shards_.size(); ++k)
+        shards_[k]->attachShard(*this, static_cast<int>(k),
+                                plan.serviceGroup);
+}
+
+void
+ShardedSim::crossSend(int from, int to, const CrossShardMsg &msg)
+{
+    // Single-writer rows: within a window only shard `from`'s thread
+    // appends to mail_[from][*]; the parallelFor join publishes the
+    // rows to the coordinator.
+    mail_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)]
+        .push_back(msg);
+}
+
+void
+ShardedSim::exchange()
+{
+    const std::size_t n = shards_.size();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+        inboxScratch_.clear();
+        for (std::size_t src = 0; src < n; ++src) {
+            std::vector<CrossShardMsg> &box = mail_[src][dst];
+            for (std::size_t i = 0; i < box.size(); ++i)
+                inboxScratch_.push_back(
+                    {box[i], static_cast<int>(src), i});
+        }
+        // Deterministic merge order at injection: (deliver time,
+        // source shard, per-mailbox emission order). The triple is
+        // unique, so the sort is a total order independent of
+        // URSA_THREADS.
+        std::sort(inboxScratch_.begin(), inboxScratch_.end(),
+                  [](const InboxEntry &a, const InboxEntry &b) {
+                      if (a.msg.deliverAtUs != b.msg.deliverAtUs)
+                          return a.msg.deliverAtUs < b.msg.deliverAtUs;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        for (const InboxEntry &entry : inboxScratch_)
+            shards_[dst]->injectCrossShard(entry.msg);
+    }
+    for (std::size_t src = 0; src < n; ++src)
+        for (std::size_t dst = 0; dst < n; ++dst)
+            mail_[src][dst].clear();
 }
 
 void
@@ -102,6 +187,9 @@ ShardedSim::run(SimTime until)
     // channels will need. Shards within a window run via parallelFor
     // with the fixed-shard mapping (index == shard), so the schedule of
     // each shard's events is independent of URSA_THREADS.
+    URSA_CHECK(!mesh_ || window_ <= lookahead_, "sim.shard",
+               "co-advance window exceeds the minimum cross-shard "
+               "lookahead — messages could deliver into a shard's past");
     while (now_ < until) {
         const SimTime target = std::min(until, now_ + window_);
         // ursa-lint: allow(blocking-in-sim) the shard barrier is the one sanctioned blocking point — co-advancing shards must join on the pool's window edge before cross-shard time can move
@@ -115,6 +203,8 @@ ShardedSim::run(SimTime until)
                        "shard clock diverged from the window edge");
         }
 #endif
+        if (mesh_)
+            exchange();
     }
 }
 

@@ -1,38 +1,53 @@
 /**
  * @file
- * First step of intra-simulation parallelism: shard the DES by service
- * groups and co-advance the shards on ursa::exec.
+ * Intra-simulation parallelism: cut the DES into shards and co-advance
+ * them on ursa::exec with conservative windowed synchronization.
  *
  * `computeShardPlan` analyses a finalized Cluster's call graph and
- * partitions services into *shard groups* — connected components of the
- * undirected "calls or is called by" relation, with every request class
- * assigned to its root service's group. Two groups never exchange
- * invocations, so their event streams are causally independent and can
- * execute in parallel with no synchronization at all.
+ * partitions services into *shard groups*. The partition follows the
+ * per-edge lookahead model: every `CallSpec` carries a minimum network
+ * delay (`netDelayUs`), and a message sent over an edge at time `t`
+ * cannot take effect before `t + netDelayUs`. Only zero-latency edges
+ * (explicit `netDelayUs = 0`, meaning colocated/in-process) force
+ * their endpoints into one group — their events interleave at
+ * identical timestamps, so they must share an event queue. Services
+ * joined solely by latency-bearing edges land in distinct groups, and
+ * `ShardPlan::lookaheadUs` reports the minimum delay over all
+ * group-crossing edges: the conservative lookahead of the whole mesh.
+ * A plan with no cross-group edges at all (fully disconnected groups)
+ * reports `kNoLink` — infinite lookahead, any window is safe.
  *
- * The conservative-lookahead model: a shard may safely advance to
- * `t + lookahead`, where lookahead is the minimum latency of any
- * cross-shard channel, because no message sent after `t` can arrive
- * before `t + lookahead`. In the current simulator every call is
- * delivered with zero latency (an RPC's events interleave at the same
- * timestamps as its caller's), so connected services have lookahead 0
- * and must share a shard; only disconnected groups — lookahead
- * infinity, reported as `ShardPlan::kNoLink` — are parallelizable.
- * Cross-shard channels with nonzero minimum latency (and with them
- * sub-infinite lookahead windows) are future work; `ShardedSim`'s
- * windowed co-advance is already shaped for them.
+ * `ShardedSim` co-advances one Cluster per shard in fixed time
+ * windows via `exec::parallelFor`. Two usage modes:
  *
- * `ShardedSim` co-advances one Cluster per shard in fixed time windows
- * via `exec::parallelFor`, using the PR-1 fixed-shard trick: the
- * parallel index *is* the shard, each shard owns all of its mutable
- * state (its Cluster, clients, RNGs), so results are bit-identical for
- * any URSA_THREADS setting — thread scheduling only decides who runs a
- * shard, never what it computes.
+ *  - Disconnected shards (PR-6 behavior, no `connectMesh` call): each
+ *    Cluster is causally independent, nothing is exchanged.
+ *
+ *  - One connected mesh cut into shards (`connectMesh(plan)`): every
+ *    added Cluster is a full replica of the topology, shard k owns
+ *    the services of plan group k, and cross-shard calls flow as POD
+ *    messages (sim/cross_shard.h) through per-(src, dst) mailboxes.
+ *    Within a window each shard appends to its own outbound rows
+ *    only; between windows the coordinator drains every inbox in
+ *    deterministic (deliverAt, source shard, emission order) order
+ *    and schedules the messages on the destination queues. The
+ *    co-advance window is clamped to the plan's lookahead, which
+ *    guarantees every message emitted during a window delivers
+ *    strictly after the window edge — never into a shard's past.
+ *
+ * Both modes use the PR-1 fixed-shard trick: the parallel index *is*
+ * the shard, each shard owns all of its mutable state (its Cluster,
+ * clients, RNGs, pool arena), and mailbox rows are single-writer
+ * within a window — so results are bit-identical for any URSA_THREADS
+ * setting. Thread scheduling only decides who runs a shard, never
+ * what it computes.
  */
 
 #ifndef URSA_SIM_SHARD_H
 #define URSA_SIM_SHARD_H
 
+#include "check/check.h"
+#include "sim/cross_shard.h"
 #include "sim/time.h"
 
 #include <cstdint>
@@ -44,13 +59,13 @@ namespace ursa::sim
 
 class Cluster;
 
-/** Partition of a cluster's services/classes into independent shards. */
+/** Partition of a cluster's services/classes into shard groups. */
 struct ShardPlan
 {
     /** Lookahead value meaning "no cross-shard channel exists". */
     static constexpr SimTime kNoLink = std::numeric_limits<SimTime>::max();
 
-    /** Number of shard groups (connected components). */
+    /** Number of shard groups. */
     int shards = 0;
 
     /** Shard group of each service, indexed by ServiceId. */
@@ -60,28 +75,31 @@ struct ShardPlan
     std::vector<int> classGroup;
 
     /**
-     * Minimum latency of any channel between distinct groups. All
-     * in-simulator calls are currently zero-latency, so connected
-     * services always land in one group and this is kNoLink.
+     * Minimum `netDelayUs` of any edge between distinct groups — the
+     * mesh's conservative lookahead, and the largest safe co-advance
+     * window. kNoLink when no edge crosses groups (fully disconnected
+     * components with infinite lookahead).
      */
     SimTime lookaheadUs = kNoLink;
 };
 
 /**
- * Partition `cluster`'s services into connected components of the call
- * graph (all classes' behaviors considered). The cluster must be
- * finalized. Group ids are dense, in order of lowest member ServiceId.
+ * Partition `cluster`'s services by the per-edge lookahead model: the
+ * union-find merges only the endpoints of zero-latency edges, then
+ * `lookaheadUs` is the minimum delay over the edges left crossing
+ * groups. The cluster must be finalized. Group ids are dense, in
+ * order of lowest member ServiceId.
  */
 ShardPlan computeShardPlan(const Cluster &cluster);
 
 /**
- * Windowed co-advance of independent shard Clusters on ursa::exec.
- * Non-owning: callers keep the Clusters (and their clients) alive for
- * the ShardedSim's lifetime. Each added Cluster must be causally
- * independent of the others — which separate Cluster objects are by
- * construction (they share no event queue, services or RNG).
+ * Windowed co-advance of shard Clusters on ursa::exec. Non-owning:
+ * callers keep the Clusters (and their clients) alive for the
+ * ShardedSim's lifetime. Without `connectMesh` the shards must be
+ * causally independent — which separate Cluster objects are by
+ * construction; with it they form one mesh per the plan.
  */
-class ShardedSim
+class ShardedSim : public CrossShardHub
 {
   public:
     /** Default co-advance window: one simulated second. */
@@ -90,39 +108,85 @@ class ShardedSim
     /**
      * @param windowUs Co-advance window; every shard reaches the end
      *        of a window before any shard enters the next. Must be
-     *        > 0. With zero-latency-only channels any window is safe;
-     *        once cross-shard links exist the window must not exceed
-     *        the plan's lookahead.
+     *        > 0. Disconnected shards accept any window; connectMesh
+     *        clamps it to the plan's lookahead.
      */
     explicit ShardedSim(SimTime windowUs = kDefaultWindowUs);
 
     /** Register one shard. All shards must be added before run(). */
     void addShard(Cluster &cluster);
 
+    /**
+     * Wire the added shards into one connected mesh: shard k serves
+     * the services of plan group k, and every cross-group call is
+     * exchanged as a cross-shard message. Requires exactly
+     * `plan.shards` added shards, each a full, finalized replica of
+     * the same topology the plan was computed from. Clamps the
+     * co-advance window to `plan.lookaheadUs`. Call once, after every
+     * addShard and before run().
+     */
+    void connectMesh(const ShardPlan &plan);
+
+    /** CrossShardHub: append to the (from, to) outbound mailbox. */
+    void crossSend(int from, int to, const CrossShardMsg &msg) override;
+
     std::size_t shards() const { return shards_.size(); }
 
     /** Common simulated time every shard has reached. */
     SimTime now() const { return now_; }
 
+    /** Effective co-advance window (post any connectMesh clamp). */
+    SimTime window() const { return window_; }
+
     /**
      * Advance every shard to `until`, window by window, shards in
-     * parallel within a window. Bit-identical for any URSA_THREADS.
+     * parallel within a window, mailboxes exchanged between windows.
+     * Bit-identical for any URSA_THREADS.
      */
     void run(SimTime until);
 
     /** Total events executed across all shards. */
     std::uint64_t eventsProcessed() const;
 
-    /** Aggregate requests injected across all shards. */
+    /** Aggregate requests injected across all shards (remote-leg
+     *  proxies excluded — they are not user requests). */
     std::uint64_t submitted() const;
 
     /** Aggregate requests fully completed across all shards. */
     std::uint64_t completed() const;
 
+#if URSA_CHECK_LEVEL >= 1
+    /**
+     * Break the window/lookahead clamp on purpose (check-layer tests):
+     * a mesh run with a window beyond the lookahead must fire
+     * "sim.shard" violations instead of silently reordering events.
+     */
+    void overrideWindowForTest(SimTime windowUs) { window_ = windowUs; }
+#endif
+
   private:
+    /// Drain every (src, dst) mailbox into the destination shards, in
+    /// deterministic (deliverAt, source shard, emission order) order.
+    void exchange();
+
     std::vector<Cluster *> shards_;
     SimTime window_;
     SimTime now_ = 0;
+
+    // Mesh state (connectMesh): outbound mailboxes indexed
+    // [from][to], each row written only by shard `from` within a
+    // window and drained by the coordinator between windows.
+    bool mesh_ = false;
+    SimTime lookahead_ = ShardPlan::kNoLink;
+    std::vector<std::vector<std::vector<CrossShardMsg>>> mail_;
+    /// Scratch for exchange(): (msg, src, seq) triples being merged.
+    struct InboxEntry
+    {
+        CrossShardMsg msg;
+        int src;
+        std::size_t seq;
+    };
+    std::vector<InboxEntry> inboxScratch_;
 };
 
 } // namespace ursa::sim

@@ -7,7 +7,9 @@
 #ifndef URSA_SIM_TYPES_H
 #define URSA_SIM_TYPES_H
 
+#include "sim/pool.h"
 #include "sim/time.h"
+#include "stats/rng.h"
 #include "trace/span.h"
 
 #include <cstdint>
@@ -34,11 +36,28 @@ enum class CallKind
     MqPublish, ///< fire-and-forget publish onto the target's queue
 };
 
+/**
+ * Default one-way network delay of an inter-service call, in
+ * microseconds: a realistic per-hop floor for kernel-bypass-free
+ * datacenter RPC through a service mesh (sidecar proxy each side).
+ * Besides fidelity, a nonzero floor is what gives the sharded kernel
+ * per-edge lookahead — see computeShardPlan in sim/shard.h.
+ */
+inline constexpr SimTime kDefaultNetDelayUs = 1000;
+
 /** One downstream call made while handling a request class. */
 struct CallSpec
 {
     std::string target;
     CallKind kind = CallKind::NestedRpc;
+    /**
+     * Minimum one-way network delay of this channel (us), applied by
+     * Cluster dispatch to the request delivery and, for RPC, to the
+     * response. 0 is an explicit option meaning colocated/in-process
+     * (same-shard only: a zero-latency edge has no lookahead, so
+     * computeShardPlan merges its endpoints into one shard).
+     */
+    SimTime netDelayUs = kDefaultNetDelayUs;
 };
 
 /**
@@ -73,6 +92,14 @@ struct ClassBehavior
      * dispatch hot path branches on this instead of rescanning `calls`.
      */
     bool hasEventCall = false;
+    /**
+     * Derived, set by Service alongside `hasEventCall` — the (mu,
+     * sigma) pairs of the compute and post-compute lognormals,
+     * precomputed once so the per-sample hot path skips the
+     * log/sqrt re-derivation (PR-6 profile rock #2).
+     */
+    stats::LognormalParams computeParams;
+    stats::LognormalParams postComputeParams;
 };
 
 /** Static configuration of one microservice. */
@@ -110,11 +137,15 @@ struct RequestClassSpec
 };
 
 /**
- * One in-flight user request. Owned by shared_ptr: invocation
- * continuations and async branches keep it alive until fully done.
+ * One in-flight user request. Owned by RefPtr (pool-backed intrusive
+ * refcount, see sim/pool.h): invocation continuations and async
+ * branches keep it alive until fully done. Must not outlive the
+ * Cluster that created it.
  */
 struct Request
 {
+    RefState poolRef;
+
     std::uint64_t id = 0;
     ClassId classId = 0;
     int priority = 0;
@@ -127,6 +158,11 @@ struct Request
     /// Selected by the tracer's deterministic hash-of-id gate at
     /// submit; every hop of a traced request emits a span.
     bool traced = false;
+    /// True for the destination-side proxy of a cross-shard call: the
+    /// request is accounted in the remote counters, never traced, and
+    /// excluded from end-to-end latency recording (the source shard
+    /// owns the user-visible request).
+    bool remoteLeg = false;
     /// Client root span id of a traced request (kNoSpan otherwise).
     trace::SpanId rootSpan = trace::kNoSpan;
 
@@ -140,7 +176,7 @@ struct Request
     bool fullyDone() const { return syncDone && outstandingAsync == 0; }
 };
 
-using RequestPtr = std::shared_ptr<Request>;
+using RequestPtr = RefPtr<Request>;
 
 } // namespace ursa::sim
 

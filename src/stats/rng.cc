@@ -112,19 +112,36 @@ Rng::normal(double mean, double stddev)
     return mean + stddev * normal();
 }
 
-double
-Rng::lognormal(double mean, double cv)
+LognormalParams
+LognormalParams::fromMeanCv(double mean, double cv)
 {
     URSA_CHECK(mean >= 0.0, "stats.rng",
                "lognormal with a negative mean");
     URSA_CHECK(cv >= 0.0, "stats.rng",
                "lognormal with a negative coefficient of variation");
+    LognormalParams p;
+    p.mean = mean;
     if (mean == 0.0 || cv == 0.0)
-        return mean;
+        return p; // sigma == 0: degenerate constant, sampled exactly.
     // mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
     const double sigma2 = std::log(1.0 + cv * cv);
-    const double mu = std::log(mean) - 0.5 * sigma2;
-    return std::exp(normal(mu, std::sqrt(sigma2)));
+    p.mu = std::log(mean) - 0.5 * sigma2;
+    p.sigma = std::sqrt(sigma2);
+    return p;
+}
+
+double
+Rng::lognormal(double mean, double cv)
+{
+    return lognormal(LognormalParams::fromMeanCv(mean, cv));
+}
+
+double
+Rng::lognormal(const LognormalParams &params)
+{
+    if (params.sigma == 0.0)
+        return params.mean;
+    return std::exp(params.mu + params.sigma * normal());
 }
 
 std::size_t

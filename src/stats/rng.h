@@ -19,6 +19,33 @@ namespace ursa::stats
 {
 
 /**
+ * Precomputed lognormal parameters.
+ *
+ * Sampling a lognormal from (mean, cv) pays a `log`, a `sqrt` and an
+ * extra `log` per draw just to re-derive (mu, sigma) from the same two
+ * inputs every time. Service-time distributions are fixed for the
+ * lifetime of a behavior, so the transform can be done once up front
+ * and the hot path reduced to `exp(mu + sigma * normal())`.
+ *
+ * `sigma == 0` (from cv == 0, or mean == 0) marks the degenerate
+ * constant distribution: sampling returns `mean` exactly, bypassing
+ * the `exp(log(mean))` round-trip that would otherwise perturb it in
+ * the last ulp.
+ */
+struct LognormalParams
+{
+    double mean = 0.0;
+    double mu = 0.0;
+    double sigma = 0.0;
+
+    /**
+     * Derive (mu, sigma) from the arithmetic mean and coefficient of
+     * variation. Requires mean >= 0 and cv >= 0.
+     */
+    static LognormalParams fromMeanCv(double mean, double cv);
+};
+
+/**
  * xoshiro256++ pseudo-random generator.
  *
  * Small, fast, and with a period of 2^256 - 1; more than adequate for
@@ -59,6 +86,13 @@ class Rng
      * times. cv = 0 degenerates to the constant `mean`.
      */
     double lognormal(double mean, double cv);
+
+    /**
+     * Lognormal from precomputed parameters: the per-sample cost is
+     * one normal draw and one `exp`. Bit-identical to the (mean, cv)
+     * overload for `LognormalParams::fromMeanCv(mean, cv)`.
+     */
+    double lognormal(const LognormalParams &params);
 
     /**
      * Sample an index from a discrete distribution given non-negative

@@ -32,7 +32,9 @@ makeChain(int tiers, CallKind kind, double computeMs, int threads,
         b.computeMeanUs = computeMs * 1000.0;
         b.computeCv = 0.1;
         if (t + 1 < tiers)
-            b.calls.push_back({"tier" + std::to_string(t + 2), kind});
+            // Colocated chain: these tests pin exact latency sums of
+            // the compute model, so the hops carry no network delay.
+            b.calls.push_back({"tier" + std::to_string(t + 2), kind, 0});
         cfg.behaviors[0] = b;
         c->addService(cfg);
     }
@@ -107,7 +109,7 @@ TEST(Chains, EventRpcFreesWorkerDuringDownstreamWait)
     ClassBehavior ub;
     ub.computeMeanUs = 1000.0;
     ub.computeCv = 0.0;
-    ub.calls = {{"down", CallKind::EventRpc}};
+    ub.calls = {{"down", CallKind::EventRpc, 0}};
     up.behaviors[0] = ub;
     c->addService(up);
 
@@ -171,7 +173,7 @@ TEST(Chains, MqQueueWaitCountsTowardConsumerTier)
     ClassBehavior pb;
     pb.computeMeanUs = 100.0;
     pb.computeCv = 0.0;
-    pb.calls.push_back({"cons", CallKind::MqPublish});
+    pb.calls.push_back({"cons", CallKind::MqPublish, 0});
     producer.behaviors[0] = pb;
     c->addService(producer);
 
@@ -218,7 +220,7 @@ TEST(Chains, MqStrictPriorityOrder)
     ClassBehavior pb;
     pb.computeMeanUs = 100.0;
     pb.computeCv = 0.0;
-    pb.calls.push_back({"cons", CallKind::MqPublish});
+    pb.calls.push_back({"cons", CallKind::MqPublish, 0});
     producer.behaviors[0] = pb;
     producer.behaviors[1] = pb;
     c->addService(producer);
@@ -296,7 +298,7 @@ TEST(Chains, BackpressureParentSaturatesUnderLeafThrottle)
         b.computeCv = 0.1;
         if (t < 2)
             b.calls.push_back(
-                {"tier" + std::to_string(t + 2), CallKind::NestedRpc});
+                {"tier" + std::to_string(t + 2), CallKind::NestedRpc, 0});
         cfg.behaviors[0] = b;
         c->addService(cfg);
     }
@@ -365,8 +367,8 @@ TEST(Chains, FanOutCumulativeCalls)
     ClassBehavior rb;
     rb.computeMeanUs = 1000.0;
     rb.computeCv = 0.0;
-    rb.calls.push_back({"leaf", CallKind::NestedRpc});
-    rb.calls.push_back({"leaf", CallKind::NestedRpc});
+    rb.calls.push_back({"leaf", CallKind::NestedRpc, 0});
+    rb.calls.push_back({"leaf", CallKind::NestedRpc, 0});
     root.behaviors[0] = rb;
     c->addService(root);
 
@@ -410,8 +412,8 @@ TEST(Chains, ParallelFanOutLatencyIsMax)
     rb.computeMeanUs = 1000.0;
     rb.computeCv = 0.0;
     rb.parallelCalls = true;
-    rb.calls = {{"slow", CallKind::NestedRpc},
-                {"fast", CallKind::NestedRpc}};
+    rb.calls = {{"slow", CallKind::NestedRpc, 0},
+                {"fast", CallKind::NestedRpc, 0}};
     root.behaviors[0] = rb;
     c->addService(root);
     for (auto [name, ms] : {std::pair{"slow", 20.0}, {"fast", 5.0}}) {
@@ -459,8 +461,8 @@ TEST(Chains, ParallelFanOutWithMqBranch)
     rb.computeMeanUs = 1000.0;
     rb.computeCv = 0.0;
     rb.parallelCalls = true;
-    rb.calls = {{"leaf", CallKind::NestedRpc},
-                {"mq", CallKind::MqPublish}};
+    rb.calls = {{"leaf", CallKind::NestedRpc, 0},
+                {"mq", CallKind::MqPublish, 0}};
     root.behaviors[0] = rb;
     c->addService(root);
     ServiceConfig leaf;
@@ -513,7 +515,7 @@ TEST(Chains, PostComputeRunsAfterCalls)
     ClassBehavior rb;
     rb.computeMeanUs = 2000.0;
     rb.computeCv = 0.0;
-    rb.calls.push_back({"leaf", CallKind::NestedRpc});
+    rb.calls.push_back({"leaf", CallKind::NestedRpc, 0});
     rb.postComputeMeanUs = 3000.0;
     rb.postComputeCv = 0.0;
     root.behaviors[0] = rb;

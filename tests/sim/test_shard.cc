@@ -23,9 +23,11 @@ namespace
 using namespace ursa::sim;
 
 /** Add a two-tier RPC chain `<name>_front -> <name>_back` plus a class
- * rooted at the front tier; returns the class id. */
+ * rooted at the front tier; returns the class id. The chain edge is
+ * colocated (explicit zero latency) unless a delay is passed, so the
+ * chain stays one shard group by default. */
 ClassId
-addChainGroup(Cluster &c, const std::string &name)
+addChainGroup(Cluster &c, const std::string &name, SimTime chainDelayUs = 0)
 {
     ServiceConfig front;
     front.name = name + "_front";
@@ -34,7 +36,7 @@ addChainGroup(Cluster &c, const std::string &name)
     ClassBehavior fb;
     fb.computeMeanUs = 200.0;
     fb.computeCv = 0.2;
-    fb.calls.push_back({name + "_back", CallKind::NestedRpc});
+    fb.calls.push_back({name + "_back", CallKind::NestedRpc, chainDelayUs});
 
     ServiceConfig back;
     back.name = name + "_back";
@@ -91,7 +93,8 @@ TEST(ShardPlan, DisconnectedGroupsGetDistinctShards)
     EXPECT_EQ(plan.serviceGroup[c.serviceId("beta_back")], 1);
     EXPECT_EQ(plan.classGroup[a], 0);
     EXPECT_EQ(plan.classGroup[b], 1);
-    // No cross-shard channel exists in the current zero-latency model.
+    // Fully disconnected groups: no cross-shard channel, so the plan
+    // reports infinite lookahead.
     EXPECT_EQ(plan.lookaheadUs, ShardPlan::kNoLink);
 }
 
@@ -106,8 +109,8 @@ TEST(ShardPlan, CallGraphEdgesMergeGroups)
     bridge.name = "bridge";
     ClassBehavior bb;
     bb.computeMeanUs = 50.0;
-    bb.calls.push_back({"alpha_back", CallKind::NestedRpc});
-    bb.calls.push_back({"beta_front", CallKind::NestedRpc});
+    bb.calls.push_back({"alpha_back", CallKind::NestedRpc, 0});
+    bb.calls.push_back({"beta_front", CallKind::NestedRpc, 0});
     RequestClassSpec spec;
     spec.name = "bridged";
     spec.rootService = "bridge";
@@ -123,6 +126,53 @@ TEST(ShardPlan, CallGraphEdgesMergeGroups)
         EXPECT_EQ(g, 0);
     for (int g : plan.classGroup)
         EXPECT_EQ(g, 0);
+}
+
+TEST(ShardPlan, LatencyBearingEdgesSplitAndReportLookahead)
+{
+    // Same two chains, but the alpha chain's edge carries a network
+    // delay: only the zero-latency beta edge merges, and the plan
+    // reports the minimum cross-group delay as the mesh lookahead.
+    Cluster c(1);
+    addChainGroup(c, "alpha", 3 * kDefaultNetDelayUs);
+    addChainGroup(c, "beta");
+    c.finalize();
+
+    const ShardPlan plan = computeShardPlan(c);
+    EXPECT_EQ(plan.shards, 3);
+    EXPECT_NE(plan.serviceGroup[c.serviceId("alpha_front")],
+              plan.serviceGroup[c.serviceId("alpha_back")]);
+    EXPECT_EQ(plan.serviceGroup[c.serviceId("beta_front")],
+              plan.serviceGroup[c.serviceId("beta_back")]);
+    EXPECT_EQ(plan.lookaheadUs, 3 * kDefaultNetDelayUs);
+}
+
+TEST(ShardPlan, DefaultDelayIsTheRealisticPerHopFloor)
+{
+    // Unannotated edges get the default floor, not zero: the chain
+    // splits unless the edge is explicitly marked colocated.
+    Cluster c(1);
+    ServiceConfig front;
+    front.name = "front";
+    ClassBehavior fb;
+    fb.computeMeanUs = 100.0;
+    fb.calls.push_back({"back", CallKind::NestedRpc}); // default delay
+    ServiceConfig back;
+    back.name = "back";
+    RequestClassSpec spec;
+    spec.name = "cls";
+    spec.rootService = "front";
+    spec.sla = {99.0, fromMs(1000.0)};
+    const ClassId cls = c.addClass(spec);
+    front.behaviors[cls] = fb;
+    back.behaviors[cls] = {};
+    c.addService(front);
+    c.addService(back);
+    c.finalize();
+
+    const ShardPlan plan = computeShardPlan(c);
+    EXPECT_EQ(plan.shards, 2);
+    EXPECT_EQ(plan.lookaheadUs, kDefaultNetDelayUs);
 }
 
 TEST(ShardedSim, WindowedCoAdvanceMatchesPlainRun)

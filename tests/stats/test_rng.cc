@@ -10,6 +10,7 @@
 namespace
 {
 
+using ursa::stats::LognormalParams;
 using ursa::stats::Rng;
 
 TEST(Rng, DeterministicForSameSeed)
@@ -110,8 +111,30 @@ TEST(Rng, LognormalMeanAndCv)
 
 TEST(Rng, LognormalZeroCvIsConstant)
 {
+    // Degenerate input returns the mean exactly (deterministic constant
+    // service time), without touching the sampling transform or
+    // consuming any RNG state.
     Rng r(19);
     EXPECT_DOUBLE_EQ(r.lognormal(7.0, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(r.lognormal(7.0, 0.0), 7.0);
+
+    Rng fresh(19), drained(19);
+    (void)drained.lognormal(123.0, 0.0);
+    EXPECT_DOUBLE_EQ(fresh.uniform(0.0, 1.0), drained.uniform(0.0, 1.0));
+
+    const LognormalParams p = LognormalParams::fromMeanCv(7.0, 0.0);
+    EXPECT_EQ(p.sigma, 0.0);
+    EXPECT_DOUBLE_EQ(r.lognormal(p), 7.0);
+}
+
+TEST(Rng, LognormalCachedParamsMatchDirectPath)
+{
+    // Precomputing (mu, sigma) once must be a pure refactor: the same
+    // RNG stream yields bit-identical samples via either overload.
+    Rng direct(29), cached(29);
+    const LognormalParams p = LognormalParams::fromMeanCv(5.0, 0.5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(direct.lognormal(5.0, 0.5), cached.lognormal(p));
 }
 
 TEST(Rng, WeightedChoiceProportions)

@@ -1,0 +1,26 @@
+// Bait: std shared ownership of the kernel's hot-path objects. Request
+// and Invocation are owned by the pool-backed non-atomic RefPtr
+// (sim/pool.h); a shared_ptr control block puts two lock-prefixed RMWs
+// on every hop.
+#include <memory>
+#include <vector>
+
+struct Request;
+struct Invocation;
+
+std::shared_ptr<Request> held;            // ursa-lint-test: expect(atomic-refcount)
+std::weak_ptr<Invocation> watcher;        // ursa-lint-test: expect(atomic-refcount)
+
+void
+leak(Request *r)
+{
+    auto inv = std::make_shared<Invocation>();  // ursa-lint-test: expect(atomic-refcount)
+    (void)inv;
+    std::vector<std::shared_ptr<Request>> all; // ursa-lint-test: expect(atomic-refcount)
+    (void)r;
+}
+
+// The one sanctioned escape hatch: an explicit suppression with a
+// reason keeps an interop shim compilable.
+// ursa-lint: allow(atomic-refcount) interop shim with an external tracing API
+std::shared_ptr<Request> exported;        // ursa-lint-test: suppressed(atomic-refcount)

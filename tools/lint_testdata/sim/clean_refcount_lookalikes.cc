@@ -1,0 +1,29 @@
+// Clean: shared ownership of types that are NOT Request/Invocation, and
+// Request/Invocation owned through the sanctioned pool-backed RefPtr.
+// None of these may flag atomic-refcount.
+#include <memory>
+#include <vector>
+
+struct Topology;
+struct RequestLog; // identifier contains "Request" but is its own token
+struct Request;
+
+template <typename T> struct RefPtr
+{
+    T *p = nullptr;
+};
+
+std::shared_ptr<Topology> topo;
+std::weak_ptr<RequestLog> logWatcher;
+std::unique_ptr<Request> scratch; // unique ownership carries no refcount
+
+void
+ok()
+{
+    auto t = std::make_shared<Topology>();
+    (void)t;
+    RefPtr<Request> req; // the sanctioned non-atomic owner
+    (void)req;
+    std::vector<RefPtr<Request>> held;
+    (void)held;
+}

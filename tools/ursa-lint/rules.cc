@@ -138,6 +138,11 @@ const std::vector<RuleInfo> kRules = {
      "recursion cycle within the sim/solver layers in which no member "
      "carries an URSA_CHECK-guarded depth bound; deep topologies or "
      "adversarial inputs can overflow the stack"},
+    {"atomic-refcount",
+     "std::shared_ptr/weak_ptr ownership of Request or Invocation in "
+     "src/sim; the kernel owns them through pool-backed non-atomic "
+     "RefPtr/makeRef (sim/pool.h) — shared_ptr control blocks and "
+     "atomic refcount traffic are a measured hot-path regression"},
 };
 
 // --- context -------------------------------------------------------------
@@ -625,6 +630,40 @@ ruleBannedHeap(Ctx &ctx)
             ctx.report(t[i].line, "banned-heap", kRules[10].summary);
 }
 
+const std::set<std::string> kSharedOwnerIdents = {
+    "shared_ptr", "weak_ptr", "make_shared", "allocate_shared"};
+
+/**
+ * The atomic-refcount regression guard: Request and Invocation flow
+ * through the kernel's hottest path and are owned by the pool-backed
+ * non-atomic RefPtr; any std shared-ownership of them in src/sim
+ * reintroduces a control block + lock-prefixed RMWs per hop. Other
+ * types may still use shared_ptr freely.
+ */
+void
+ruleAtomicRefcount(Ctx &ctx)
+{
+    if (ctx.scope != "sim")
+        return;
+    const auto &t = ctx.toks();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!ctx.qualifiedIn(i, "std", kSharedOwnerIdents))
+            continue;
+        const std::size_t open = i + 4;
+        const std::size_t end = ctx.skipAngles(open);
+        if (end == std::string::npos)
+            continue;
+        for (std::size_t j = open + 1; j + 1 < end; ++j) {
+            if (t[j].kind == TokenKind::Identifier &&
+                (t[j].text == "Invocation" || t[j].text == "Request")) {
+                ctx.report(t[i].line, "atomic-refcount",
+                           kRules[19].summary);
+                break;
+            }
+        }
+    }
+}
+
 /**
  * Enforce the suppression contract itself: every allow() must carry a
  * trailing reason and may only name rules that exist. Reported
@@ -724,6 +763,7 @@ lintFileLexed(const std::string &relPath, const LexedFile &lx)
     ruleBannedInclude(ctx);
     ruleMissingAnnotation(ctx);
     ruleBannedHeap(ctx);
+    ruleAtomicRefcount(ctx);
     ruleSuppressionReason(ctx);
 
     sortViolations(ctx.out);
